@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def series_means(figure) -> dict[str, float]:
+    """Mean y-value per series of a harness Figure."""
+    return {
+        name: sum(values) / len(values) for name, values in figure.series.items()
+    }

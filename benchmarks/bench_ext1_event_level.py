@@ -1,0 +1,26 @@
+"""Bench EXT1: event-level A-STPM ablation (the paper's future work).
+
+Expected shape: the extension returns a subset of A-STPM's patterns at
+comparable or lower runtime, pruning at least as many events.
+"""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+
+def test_ext1_event_level_astpm(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "EXT1", profile="bench", datasets=("RE", "INF"), min_seasons=(4, 8)
+        ),
+    )
+    record_artifact("EXT1", table.render())
+    for row in table.rows:
+        plain_patterns, extended_patterns = int(row[2]), int(row[3])
+        plain_accuracy, extended_accuracy = int(row[4]), int(row[5])
+        extra_pruned = int(row[8])
+        assert extended_patterns <= plain_patterns  # subset property
+        assert extended_accuracy <= plain_accuracy
+        assert extra_pruned >= 0

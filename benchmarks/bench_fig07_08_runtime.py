@@ -1,0 +1,31 @@
+"""Bench F7/F8 (+ appendix F17/F18): runtime comparison of the three miners.
+
+Paper shape: A-STPM fastest, E-STPM second, APS-growth slowest, across the
+minSeason sweep on every dataset.
+"""
+
+import pytest
+from _shared import run_once, series_means
+
+from repro.harness import run_experiment
+
+SWEEP = (4, 8)
+
+
+def _check_ordering(figure):
+    means = series_means(figure)
+    # Allow 15% jitter on the A-vs-E comparison; the baseline gap is wide.
+    assert means["A-STPM"] <= means["E-STPM"] * 1.15
+    assert means["E-STPM"] < means["APS-growth"]
+
+
+@pytest.mark.parametrize(
+    "artifact", ["F7", "F8", "F17", "F18"], ids=["RE", "INF", "SC", "HFM"]
+)
+def test_runtime_comparison(benchmark, record_artifact, artifact):
+    figure = run_once(
+        benchmark,
+        lambda: run_experiment(artifact, profile="bench", vary="min_season", values=SWEEP),
+    )
+    record_artifact(artifact, figure.render())
+    _check_ordering(figure)

@@ -1,0 +1,26 @@
+"""Bench F9/F10 (+ appendix F19/F20): peak-memory comparison.
+
+Paper shape: A-STPM uses the least memory, E-STPM less than APS-growth
+(the baseline materializes every occurrence of every group).
+"""
+
+import pytest
+from _shared import run_once, series_means
+
+from repro.harness import run_experiment
+
+SWEEP = (4,)
+
+
+@pytest.mark.parametrize(
+    "artifact", ["F9", "F10", "F19", "F20"], ids=["RE", "INF", "SC", "HFM"]
+)
+def test_memory_comparison(benchmark, record_artifact, artifact):
+    figure = run_once(
+        benchmark,
+        lambda: run_experiment(artifact, profile="bench", vary="min_season", values=SWEEP),
+    )
+    record_artifact(artifact, figure.render())
+    means = series_means(figure)
+    assert means["A-STPM"] <= means["E-STPM"] * 1.1
+    assert means["E-STPM"] < means["APS-growth"]

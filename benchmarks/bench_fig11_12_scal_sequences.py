@@ -1,0 +1,29 @@
+"""Bench F11/F12 (+ appendix F21/F22): scalability in #sequences.
+
+Paper shape: every miner's runtime grows with the number of sequences;
+the baseline grows fastest (it is the one that eventually falls over on
+the paper's big configurations).
+"""
+
+import pytest
+from _shared import run_once, series_means
+
+from repro.harness import run_experiment
+
+FRACTIONS = (0.5, 1.0)
+
+
+@pytest.mark.parametrize(
+    "artifact", ["F11", "F12", "F21", "F22"], ids=["RE", "INF", "SC", "HFM"]
+)
+def test_scalability_sequences(benchmark, record_artifact, artifact):
+    figure = run_once(
+        benchmark,
+        lambda: run_experiment(artifact, profile="bench", fractions=FRACTIONS),
+    )
+    record_artifact(artifact, figure.render())
+    for name, values in figure.series.items():
+        assert values[-1] > values[0], f"{name} should grow with #sequences"
+    means = series_means(figure)
+    assert means["APS-growth"] > means["E-STPM"]
+    assert means["A-STPM"] <= means["E-STPM"] * 1.15

@@ -1,0 +1,32 @@
+"""Bench F13/F14 (+ appendix F23/F24): scalability in #time series.
+
+Paper shape: runtime grows with the number of series for every miner;
+A-STPM grows slowest because the MI screening prunes the added
+uncorrelated series before mining.
+"""
+
+import pytest
+from _shared import run_once, series_means
+
+from repro.harness import run_experiment
+
+SERIES_COUNTS = (10, 12)
+
+
+@pytest.mark.parametrize(
+    "artifact", ["F13", "F14", "F23", "F24"], ids=["RE", "INF", "SC", "HFM"]
+)
+def test_scalability_series(benchmark, record_artifact, artifact):
+    figure = run_once(
+        benchmark,
+        lambda: run_experiment(artifact, profile="bench", series_counts=SERIES_COUNTS),
+    )
+    record_artifact(artifact, figure.render())
+    # The exact miners must grow with #series; A-STPM may stay flat when
+    # the MI screening prunes every added series (that is its point).
+    for name in ("E-STPM", "APS-growth"):
+        values = figure.series[name]
+        assert values[-1] > values[0], f"{name} should grow with #series"
+    means = series_means(figure)
+    assert means["APS-growth"] > means["E-STPM"]
+    assert means["A-STPM"] <= means["E-STPM"] * 1.15

@@ -1,0 +1,31 @@
+"""Bench F15/F16 (+ appendix F25/F26): E-STPM pruning ablation.
+
+Paper shape: (All) is fastest, (NoPrune) slowest, with (Trans) and
+(Apriori) in between; all four return identical pattern sets (asserted in
+the unit/property tests).
+"""
+
+import pytest
+from _shared import run_once, series_means
+
+from repro.harness import run_experiment
+
+SWEEP = (4,)
+
+
+@pytest.mark.parametrize(
+    "artifact", ["F15", "F16", "F25", "F26"], ids=["RE", "INF", "SC", "HFM"]
+)
+def test_pruning_ablation(benchmark, record_artifact, artifact):
+    figure = run_once(
+        benchmark,
+        lambda: run_experiment(artifact, profile="bench", vary="min_season", values=SWEEP),
+    )
+    record_artifact(artifact, figure.render())
+    means = series_means(figure)
+    # Combined pruning beats no pruning; each single technique is at most
+    # marginally slower than none (single-core timing jitter allowed).
+    assert means["All"] < means["NoPrune"]
+    assert means["Apriori"] <= means["NoPrune"] * 1.25
+    assert means["Trans"] <= means["NoPrune"] * 1.25
+    assert means["All"] <= min(means["Apriori"], means["Trans"]) * 1.25

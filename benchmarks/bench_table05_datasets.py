@@ -1,0 +1,18 @@
+"""Bench T5: dataset characteristics (paper Table V)."""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+
+def test_table05_dataset_characteristics(benchmark, record_artifact):
+    table = run_once(benchmark, lambda: run_experiment("T5", profile="bench"))
+    record_artifact("T5", table.render())
+    assert len(table.rows) == 4
+    names = {row[0] for row in table.rows}
+    assert names == {"RE", "SC", "INF", "HFM"}
+    for row in table.rows:
+        n_sequences, n_series, n_events = int(row[1]), int(row[2]), int(row[3])
+        assert n_sequences >= 300
+        assert n_series >= 6
+        assert n_events > n_series  # multi-symbol alphabets

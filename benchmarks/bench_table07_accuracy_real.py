@@ -1,0 +1,36 @@
+"""Bench T7: A-STPM accuracy on the real-shaped datasets (paper Table VII).
+
+Paper shape: accuracy >= ~80% at the loosest grid point, rising with
+minSeason and minDensity, reaching 100% at the strictest point.
+"""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+MIN_SEASONS = (4, 8)
+MIN_DENSITIES = (0.5, 1.0)
+
+
+def test_table07_accuracy(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T7",
+            profile="bench",
+            datasets=("RE", "INF"),
+            min_seasons=MIN_SEASONS,
+            min_density_pcts=MIN_DENSITIES,
+        ),
+    )
+    record_artifact("T7", table.render())
+    accuracies = [[int(cell) for cell in row[1:]] for row in table.rows]
+    # Accuracy is a valid percentage everywhere and high at the strictest
+    # grid point (paper: 100 at minSeason=20, minDensity=1.0).
+    for row in accuracies:
+        for value in row:
+            assert 0 <= value <= 100
+    assert min(accuracies[-1]) >= 90
+    # Rising trend in minSeason per column (tolerating small dips).
+    for column in range(len(accuracies[0])):
+        assert accuracies[-1][column] >= accuracies[0][column] - 5

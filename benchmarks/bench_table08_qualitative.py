@@ -1,0 +1,25 @@
+"""Bench T8: qualitative seasonal patterns (paper Table VIII).
+
+Paper shape: each domain yields interpretable driver -> response
+couplings (wind -> wind power, weather -> disease, storms -> incidents).
+"""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+
+def test_table08_qualitative_patterns(benchmark, record_artifact):
+    table = run_once(
+        benchmark, lambda: run_experiment("T8", profile="bench", per_dataset=3)
+    )
+    record_artifact("T8", table.render())
+    datasets = {row[0] for row in table.rows}
+    assert {"RE", "SC", "INF", "HFM"} <= datasets
+    for row in table.rows:
+        assert int(row[2]) >= 2  # at least two seasons
+        assert int(row[3]) >= 2  # multi-event patterns
+    rendered = table.render()
+    # Domain couplings the paper highlights.
+    assert "Power" in rendered
+    assert "Influenza" in rendered or "ILIVisits" in rendered

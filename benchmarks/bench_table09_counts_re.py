@@ -1,0 +1,29 @@
+"""Bench T9: #seasonal patterns on RE over the threshold grid (Table IX).
+
+Paper shape: counts fall as minSeason/minDensity rise; higher maxPeriod
+admits more (or equal) patterns.
+"""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+GRID = ((4, 0.5), (4, 1.0), (6, 0.5), (6, 1.0), (8, 0.5), (8, 1.0))
+
+
+def test_table09_pattern_counts_re(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T9", profile="bench", max_period_pcts=(0.2, 0.4), grid=GRID
+        ),
+    )
+    record_artifact("T9", table.render())
+    counts = [[int(cell) for cell in row[1:]] for row in table.rows]
+    for row in counts:
+        # minDensity up (same minSeason) -> fewer or equal patterns.
+        assert row[0] >= row[1] and row[2] >= row[3] and row[4] >= row[5]
+        # minSeason up (same minDensity) -> fewer or equal patterns.
+        assert row[0] >= row[2] >= row[4]
+        assert row[1] >= row[3] >= row[5]
+        assert row[0] > 0

@@ -1,0 +1,23 @@
+"""Bench T10: #seasonal patterns on INF over the threshold grid (Table X)."""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+GRID = ((4, 0.5), (4, 1.0), (6, 0.5), (6, 1.0), (8, 0.5), (8, 1.0))
+
+
+def test_table10_pattern_counts_inf(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T10", profile="bench", max_period_pcts=(0.2, 0.4), grid=GRID
+        ),
+    )
+    record_artifact("T10", table.render())
+    counts = [[int(cell) for cell in row[1:]] for row in table.rows]
+    for row in counts:
+        assert row[0] >= row[1] and row[2] >= row[3] and row[4] >= row[5]
+        assert row[0] >= row[2] >= row[4]
+        assert row[1] >= row[3] >= row[5]
+        assert row[0] > 0

@@ -1,0 +1,32 @@
+"""Bench T11 (+ appendix T15/T16): % series/events pruned by A-STPM at scale.
+
+Paper shape: pruned percentages fall as the number of series grows, and
+fall as minSeason/minDensity rise (they lower mu).
+"""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+SETTINGS = ((4, 0.5), (6, 0.75), (8, 1.0))
+
+
+def test_table11_pruned_series_and_events(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T11",
+            profile="bench",
+            datasets=("RE", "INF"),
+            series_counts=(12, 16, 20),
+            settings=SETTINGS,
+        ),
+    )
+    record_artifact("T11", table.render())
+    values = [[float(cell) for cell in row] for row in table.rows]
+    # Something is pruned at every scale, never everything.
+    for row in values:
+        pruned = row[1:]
+        assert all(0.0 <= v <= 100.0 for v in pruned)
+        assert max(pruned) > 0.0
+        assert min(pruned) < 100.0

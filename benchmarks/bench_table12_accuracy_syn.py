@@ -1,0 +1,31 @@
+"""Bench T12 (+ appendix T17/T18): A-STPM accuracy on synthetic scale-up.
+
+Paper shape: accuracy rises with minSeason/minDensity and is high
+throughout (>= ~85%).
+"""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+SETTINGS = ((4, 0.5), (6, 0.75), (8, 1.0))
+
+
+def test_table12_accuracy_synthetic(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T12",
+            profile="bench",
+            datasets=("INF", "HFM"),
+            series_counts=(10, 12),
+            settings=SETTINGS,
+        ),
+    )
+    record_artifact("T12", table.render())
+    for row in table.rows:
+        accuracies = [int(cell) for cell in row[1:]]
+        assert all(0 <= value <= 100 for value in accuracies)
+        # The strictest setting per dataset reaches (near) perfect recall.
+        assert accuracies[2] >= 90
+        assert accuracies[5] >= 90

@@ -1,0 +1,36 @@
+"""Bench T13/T14: #seasonal patterns on SC and HFM (appendix Tables XIII/XIV)."""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+GRID = ((4, 0.5), (6, 0.5), (8, 0.5))
+
+
+def _check(table):
+    counts = [[int(cell) for cell in row[1:]] for row in table.rows]
+    for row in counts:
+        assert row[0] >= row[1] >= row[2]  # minSeason up -> fewer patterns
+        assert row[0] > 0
+
+
+def test_table13_pattern_counts_sc(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T13", profile="bench", max_period_pcts=(0.2, 0.4), grid=GRID
+        ),
+    )
+    record_artifact("T13", table.render())
+    _check(table)
+
+
+def test_table14_pattern_counts_hfm(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T14", profile="bench", max_period_pcts=(0.2, 0.4), grid=GRID
+        ),
+    )
+    record_artifact("T14", table.render())
+    _check(table)

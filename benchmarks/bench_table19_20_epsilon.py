@@ -1,0 +1,28 @@
+"""Bench T19/T20: tolerance buffer epsilon sensitivity (Tables XIX/XX).
+
+Paper shape: epsilon = 0 loses nothing by definition; small epsilon values
+lose at most a few percent of the patterns.
+"""
+
+from _shared import run_once
+
+from repro.harness import run_experiment
+
+
+def test_table19_20_epsilon_sensitivity(benchmark, record_artifact):
+    table = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "T19", profile="bench", datasets=("RE", "INF"), epsilons=(0, 1, 2)
+        ),
+    )
+    record_artifact("T19", table.render())
+    # Row 0 is epsilon=0: zero loss on both datasets.
+    assert float(table.rows[0][2]) == 0.0
+    assert float(table.rows[0][4]) == 0.0
+    # Larger epsilons keep losses moderate (paper: <= ~2.5%; we allow 15%
+    # because epsilon is in coarse 3-hourly/daily granules here).
+    for row in table.rows[1:]:
+        assert float(row[2]) <= 15.0
+        assert float(row[4]) <= 15.0
+        assert int(row[1]) > 0 and int(row[3]) > 0

@@ -1,0 +1,40 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables/figures via the harness
+(`repro.harness.experiments`), records the rendered artifact under
+``benchmarks/results/``, and asserts the *shape* the paper reports (who
+wins, orderings, trends).  pytest-benchmark provides the timing envelope;
+each experiment runs once (rounds=1) because the experiments themselves
+are multi-run parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """Persist a rendered table/figure for EXPERIMENTS.md."""
+
+    def _record(artifact_id: str, rendered: str) -> None:
+        (results_dir / f"{artifact_id}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}\n")
+
+    return _record

@@ -1,0 +1,13 @@
+"""Repo-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (offline environments without the ``wheel`` package cannot run
+``pip install -e .``; see README).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,75 @@
+"""Bring your own data: mine seasonal patterns from raw numpy arrays.
+
+Shows the full public-API pipeline on user-supplied signals:
+
+1. wrap arrays as :class:`repro.TimeSeries`;
+2. symbolize with SAX (or quantile/threshold mappers);
+3. choose a granularity via the sequence-mapping ratio;
+4. mine with E-STPM and inspect the seasonal evidence.
+
+Run: ``python examples/custom_data.py``
+"""
+
+import numpy as np
+
+from repro import (
+    ESTPM,
+    Alphabet,
+    MiningParams,
+    SaxMapper,
+    SymbolicDatabase,
+    TimeSeries,
+    build_sequence_database,
+)
+
+
+def make_signals(n_weeks: int = 160, seed: int = 42) -> dict[str, np.ndarray]:
+    """Two coupled signals with an 8-week seasonal rhythm (hourly samples
+    aggregated to weeks would work the same way)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_weeks * 7)  # daily samples
+    rhythm = np.maximum(0.0, np.sin(2 * np.pi * t / (8 * 7)))  # 8-week cycle
+    sales = 100 + 80 * rhythm + rng.normal(0, 6, len(t))
+    shipments = 20 + 15 * np.roll(rhythm, 3) + rng.normal(0, 1.5, len(t))
+    return {"Sales": sales, "Shipments": shipments}
+
+
+def main() -> None:
+    signals = make_signals()
+
+    # 1-2. Wrap and symbolize (SAX with a 3-letter alphabet).
+    alphabet = Alphabet.levels(["Low", "Medium", "High"])
+    mapper = SaxMapper(alphabet)
+    dsyb = SymbolicDatabase.from_raw(
+        [TimeSeries.from_array(name, values) for name, values in signals.items()],
+        mapper,
+    )
+
+    # 3. One temporal sequence per week (7 daily samples).
+    dseq = build_sequence_database(dsyb, ratio=7)
+    print(f"{len(dseq)} weekly sequences, events: {sorted(dseq.events())}")
+
+    # 4. Mine: seasons are dense runs of weeks, recurring every ~8 weeks.
+    params = MiningParams(
+        max_period=2,
+        min_density=2,
+        dist_interval=(3, 12),
+        min_season=5,
+    )
+    result = ESTPM(dseq, params).mine()
+    print(f"\n{len(result)} frequent seasonal patterns:")
+    for sp in sorted(result.patterns, key=lambda sp: (-sp.size, -sp.n_seasons)):
+        print(f"  {sp.pattern.describe():40s} seasons={sp.n_seasons} "
+              f"densities={sp.seasons.densities()}")
+
+    high_demand = [
+        sp
+        for sp in result.by_size(2)
+        if set(sp.pattern.events) == {"Sales:High", "Shipments:High"}
+    ]
+    assert high_demand, "the planted Sales/Shipments coupling should be found"
+    print("\nPlanted coupling recovered:", high_demand[0].pattern.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: mine seasonal temporal patterns from the paper's running example.
+
+Reproduces Tables II/IV of the paper end to end:
+
+1. five binary device series at 5-minute granularity (Table II);
+2. sequence mapping into 15-minute temporal sequences (Table IV);
+3. E-STPM mining with maxPeriod=2, minDensity=3, distInterval=[4,10],
+   minSeason=2.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import ESTPM, MiningParams, SymbolicDatabase, build_sequence_database
+
+# Table II: energy usage of five devices (C: Cooker, D: Dish washer,
+# F: Food processor, M: Microwave, N: Nespresso), ON/OFF per 5 minutes.
+TABLE_II = {
+    "C": "110100110000000000111111000000100110000110",
+    "D": "100100110110000000111111000000100100110110",
+    "F": "001011001001111000000000111111001001001001",
+    "M": "111100111110111111000111111111111000111000",
+    "N": "110111111110111111000000111111111111111000",
+}
+
+
+def main() -> None:
+    # Phase 1: data transformation (Defs. 3.6 and 3.9-3.11).
+    dsyb = SymbolicDatabase.from_rows(TABLE_II)
+    dseq = build_sequence_database(dsyb, ratio=3)  # 5-Minutes -> 15-Minutes
+    print(f"DSEQ has {len(dseq)} temporal sequences; first row:")
+    print(" ", dseq.describe_row(1))
+
+    # Phase 2: seasonal temporal pattern mining (Alg. 1).
+    params = MiningParams(
+        max_period=2,        # occurrences <= 2 granules apart share a season
+        min_density=3,       # a season needs >= 3 occurrences
+        dist_interval=(4, 10),  # consecutive seasons 4..10 granules apart
+        min_season=2,        # frequent = at least 2 seasons
+    )
+    result = ESTPM(dseq, params).mine()
+
+    print(f"\n{len(result)} frequent seasonal patterns "
+          f"(mined in {result.stats.mining_seconds:.3f}s):")
+    for sp in sorted(result.patterns, key=lambda sp: (sp.size, sp.pattern.describe())):
+        seasons = ", ".join(str(list(season)) for season in sp.seasons.seasons)
+        print(f"  [{sp.size}-event] {sp.pattern.describe():40s} seasons: {seasons}")
+
+    # The paper's anti-monotonicity example: M:1 alone is not seasonal,
+    # yet the pattern M:1 >= N:1 is.
+    singles = {sp.pattern.events[0] for sp in result.by_size(1)}
+    pairs = {sp.pattern.describe() for sp in result.by_size(2)}
+    assert "M:1" not in singles
+    assert "M:1 >= N:1" in pairs
+    print("\nAnti-monotonicity check: M:1 is not seasonal, but M:1 >= N:1 is.")
+
+
+if __name__ == "__main__":
+    main()

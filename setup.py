@@ -1,0 +1,7 @@
+"""Setuptools shim so that ``pip install -e .`` works offline (legacy
+editable installs need no wheel package).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Baselines (paper Sec. VI-A).
+
+The paper adapts the state-of-the-art periodic-frequent itemset miner
+**PS-growth** (Kiran et al. [40]) into **APS-growth**: a 2-phase baseline
+that (1) extracts frequent recurring events with PS-growth and (2) mines
+temporal patterns from those events without E-STPM's data structures or
+prunings.  This subpackage builds the full substrate:
+
+* :mod:`repro.baselines.pstree` -- the Periodic-Summary tree (PS-tree).
+* :mod:`repro.baselines.psgrowth` -- PS-growth itemset mining.
+* :mod:`repro.baselines.apsgrowth` -- the APS-growth adaptation.
+* :mod:`repro.baselines.naive` -- a brute-force seasonal temporal pattern
+  miner used both inside APS-growth's phase 2 and as the ground-truth
+  oracle in the property-based tests.
+"""
+
+from repro.baselines.apsgrowth import APSGrowth
+from repro.baselines.naive import NaiveSTPM
+from repro.baselines.psgrowth import PSGrowth, PeriodicFrequentItemset
+from repro.baselines.pstree import PeriodSummary, PSTree
+
+__all__ = [
+    "PSTree",
+    "PeriodSummary",
+    "PSGrowth",
+    "PeriodicFrequentItemset",
+    "APSGrowth",
+    "NaiveSTPM",
+]

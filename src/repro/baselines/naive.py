@@ -1,0 +1,158 @@
+"""A brute-force seasonal temporal pattern miner.
+
+This miner enumerates k-event groups directly from the event list, scans
+*all* granules of DSEQ for every group (no support-set intersection), and
+materializes every realizing instance assignment before the seasonal
+checks -- i.e. it does everything E-STPM's data structures avoid.  Two
+roles:
+
+* the **ground-truth oracle** for the property-based equivalence tests
+  (its output must match E-STPM exactly -- both implement Defs. 3.12-3.15);
+* the engine of **APS-growth's phase 2** (the paper's baseline mines
+  temporal patterns from PS-growth's events without HLH tables, Apriori
+  maxSeason gates on groups, or transitivity filtering).
+
+``support_gate`` optionally applies the bare minimum candidate filter
+``|SUP_P| >= minSeason * minDensity`` (equivalent to the maxSeason gate) to
+patterns before they are *extended* -- without it the enumeration explodes
+exponentially; with it the output is provably unchanged (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, combinations_with_replacement, product
+
+from repro.core.config import MiningParams
+from repro.core.pattern import TemporalPattern, pattern_from_instances, single_event_pattern
+from repro.core.results import MiningResult, MiningStats, SeasonalPattern
+from repro.core.seasonality import compute_seasons
+from repro.events.event import EventInstance
+from repro.transform.sequence_db import TemporalSequenceDatabase
+
+#: One occurrence record: granule position plus the realizing instances.
+Occurrence = tuple[int, tuple[EventInstance, ...]]
+
+
+@dataclass
+class NaiveSTPM:
+    """Brute-force miner with optional event whitelist and support gate.
+
+    Parameters
+    ----------
+    dseq:
+        The temporal sequence database.
+    params:
+        The seasonal thresholds.
+    events:
+        Whitelist of events to mine from (APS-growth passes PS-growth's
+        recurring events here); ``None`` mines every event in DSEQ.
+    support_gate:
+        Apply the minimal lossless support filter before extending
+        patterns.  The oracle tests run with it both on and off.
+    """
+
+    dseq: TemporalSequenceDatabase
+    params: MiningParams
+    events: list[str] | None = None
+    support_gate: bool = True
+    _occurrences: dict[TemporalPattern, list[Occurrence]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def mine(self) -> MiningResult:
+        """Enumerate, verify, and seasonally filter all patterns."""
+        params = self.params
+        stats = MiningStats(n_granules=len(self.dseq))
+        patterns: list[SeasonalPattern] = []
+        event_list = sorted(
+            self.events if self.events is not None else self.dseq.events()
+        )
+        support = self.dseq.event_support()
+        min_support = params.min_season * params.min_density
+
+        # --- single events -------------------------------------------------
+        for event in event_list:
+            event_sup = support.get(event, [])
+            stats.n_events_scanned += 1
+            view = compute_seasons(event_sup, params)
+            if view.n_seasons >= params.min_season:
+                patterns.append(SeasonalPattern(single_event_pattern(event), view))
+                stats.bump(stats.n_frequent, 1)
+
+        # --- 2-event patterns: full DSEQ scan per pair ----------------------
+        level: dict[TemporalPattern, list[Occurrence]] = {}
+        for event_a, event_b in combinations_with_replacement(event_list, 2):
+            stats.bump(stats.n_groups_generated, 2)
+            for row in self.dseq:
+                instances_a = row.instances_of(event_a)
+                if event_a == event_b:
+                    pairs = combinations(instances_a, 2)
+                else:
+                    pairs = product(instances_a, row.instances_of(event_b))
+                for pair in pairs:
+                    built = pattern_from_instances(pair, params.relation)
+                    if built is None:
+                        continue
+                    ordered = tuple(sorted(pair, key=EventInstance.sort_key))
+                    level.setdefault(built, []).append((row.position, ordered))
+        patterns.extend(self._flush_level(level, 2, stats))
+
+        # --- k >= 3: extend every stored occurrence with every event --------
+        k = 3
+        while k <= params.max_pattern_length and level:
+            next_level: dict[TemporalPattern, list[Occurrence]] = {}
+            for pattern, occurrences in level.items():
+                if self.support_gate:
+                    distinct = len({granule for granule, _ in occurrences})
+                    if distinct < min_support:
+                        continue
+                for event in event_list:
+                    stats.bump(stats.n_groups_generated, k)
+                    for granule, assignment in occurrences:
+                        for instance in self.dseq.instances_at(granule, event):
+                            if instance in assignment:
+                                continue
+                            built = pattern_from_instances(
+                                assignment + (instance,), params.relation
+                            )
+                            if built is None:
+                                continue
+                            ordered = tuple(
+                                sorted(
+                                    assignment + (instance,),
+                                    key=EventInstance.sort_key,
+                                )
+                            )
+                            records = next_level.setdefault(built, [])
+                            if (granule, ordered) not in records[-8:]:
+                                records.append((granule, ordered))
+            # Deduplicate occurrences reached through different parents.
+            for pattern in next_level:
+                next_level[pattern] = sorted(set(next_level[pattern]))
+            patterns.extend(self._flush_level(next_level, k, stats))
+            level = next_level
+            k += 1
+
+        return MiningResult(patterns=patterns, stats=stats)
+
+    def _flush_level(
+        self,
+        level: dict[TemporalPattern, list[Occurrence]],
+        k: int,
+        stats: MiningStats,
+    ) -> list[SeasonalPattern]:
+        """Seasonal check for every pattern of one level."""
+        found: list[SeasonalPattern] = []
+        for pattern, occurrences in level.items():
+            stats.bump(stats.n_candidate_patterns, k)
+            support: list[int] = []
+            for granule, _ in occurrences:
+                if not support or support[-1] != granule:
+                    support.append(granule)
+            support = sorted(set(support))
+            view = compute_seasons(support, self.params)
+            if view.n_seasons >= self.params.min_season:
+                found.append(SeasonalPattern(pattern, view))
+                stats.bump(stats.n_frequent, k)
+        return found

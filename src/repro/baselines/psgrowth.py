@@ -1,0 +1,176 @@
+"""PS-growth: periodic-frequent itemset mining (Kiran et al. [40]).
+
+Mines all itemsets whose support is at least ``min_sup`` and whose visible
+periods (per the period-summary representation) are at most ``max_per``
+from a temporal transaction database (tid -> item set).
+
+The algorithm is the classic pattern-growth recursion over the PS-tree:
+
+1. One scan counts item supports; items below ``min_sup`` are dropped and
+   the rest ordered by descending support.
+2. A second scan builds the PS-tree with period summaries at tail nodes.
+3. Items are mined least-frequent-first; each item's conditional pattern
+   base (prefix paths with the item's occurrence summaries) builds a
+   conditional PS-tree, recursing for longer itemsets.  After an item is
+   mined, its tail summaries are pushed to the parents, keeping the
+   remaining tree consistent (the standard PF-tree tail-pushing step).
+
+``max_per = n_transactions`` disables the periodicity constraint, which is
+how the APS-growth adapter uses this miner (seasonal gaps do not map to a
+global periodicity bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.baselines.pstree import PeriodSummary, PSTree
+from repro.exceptions import MiningError
+
+
+@dataclass(frozen=True)
+class PeriodicFrequentItemset:
+    """One mined itemset with its exact support and visible max period."""
+
+    items: tuple[str, ...]
+    support: int
+    max_period: int
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class PSGrowth:
+    """Periodic-frequent itemset miner over a tid -> items database.
+
+    Parameters
+    ----------
+    transactions:
+        Mapping from transaction id (1-based granule position) to the item
+        collection of that transaction.
+    min_sup:
+        Minimal support count.
+    max_per:
+        Maximal period; also the summary compression threshold.
+    max_itemset_size:
+        Optional cap on itemset length (None = unbounded).
+    """
+
+    transactions: Mapping[int, Iterable[str]]
+    min_sup: int
+    max_per: int
+    max_itemset_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_sup < 1:
+            raise MiningError(f"min_sup must be >= 1, got {self.min_sup}")
+        if self.max_per < 1:
+            raise MiningError(f"max_per must be >= 1, got {self.max_per}")
+
+    def mine(self) -> list[PeriodicFrequentItemset]:
+        """Run PS-growth and return all periodic-frequent itemsets."""
+        n_transactions = max(self.transactions, default=0)
+        supports: dict[str, int] = {}
+        for items in self.transactions.values():
+            for item in set(items):
+                supports[item] = supports.get(item, 0) + 1
+        frequent = {item: s for item, s in supports.items() if s >= self.min_sup}
+        # Descending support; name tiebreak keeps the order deterministic.
+        order = {
+            item: rank
+            for rank, item in enumerate(
+                sorted(frequent, key=lambda it: (-frequent[it], it))
+            )
+        }
+        tree = PSTree(max_per=self.max_per, item_order=order)
+        tree.n_transactions = n_transactions
+        for tid in sorted(self.transactions):
+            tree.insert_transaction(tid, list(set(self.transactions[tid])))
+        results: list[PeriodicFrequentItemset] = []
+        self._mine_tree(tree, suffix=(), results=results)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _mine_tree(
+        self,
+        tree: PSTree,
+        suffix: tuple[str, ...],
+        results: list[PeriodicFrequentItemset],
+    ) -> None:
+        n_transactions = tree.n_transactions
+        # Least-frequent-first: reverse of the rank order of items present.
+        items_present = sorted(
+            tree.header, key=lambda it: tree.item_order.get(it, 0), reverse=True
+        )
+        for item in items_present:
+            nodes = list(tree.nodes_of(item))
+            # Occurrence summary of the item in this (conditional) tree.
+            total = PeriodSummary(self.max_per)
+            bases: list[tuple[list[str], PeriodSummary]] = []
+            for node in nodes:
+                if node.summary is None:
+                    continue
+                total = total.merged_with(node.summary)
+                path = tree.path_to_root(node)
+                if path:
+                    bases.append((path, node.summary))
+            support = total.support
+            if support >= self.min_sup:
+                itemset = (item,) + suffix
+                if total.is_periodic(n_transactions):
+                    results.append(
+                        PeriodicFrequentItemset(
+                            items=tuple(sorted(itemset)),
+                            support=support,
+                            max_period=total.max_inter_run_gap(n_transactions),
+                        )
+                    )
+                if (
+                    self.max_itemset_size is None
+                    or len(itemset) < self.max_itemset_size
+                ):
+                    conditional = self._conditional_tree(tree, bases)
+                    if conditional.header:
+                        self._mine_tree(conditional, itemset, results)
+            # Tail-pushing: move the item's summaries to the parents so the
+            # remaining items of this tree still see those transactions.
+            for node in nodes:
+                if node.summary is None:
+                    continue
+                parent = node.parent
+                assert parent is not None
+                if parent.item is not None:
+                    if parent.summary is None:
+                        parent.summary = PeriodSummary(self.max_per)
+                    parent.summary = parent.summary.merged_with(node.summary)
+                node.summary = None
+
+    def _conditional_tree(
+        self, tree: PSTree, bases: list[tuple[list[str], PeriodSummary]]
+    ) -> PSTree:
+        # Conditional supports decide which prefix items survive.
+        cond_supports: dict[str, int] = {}
+        for path, summary in bases:
+            for prefix_item in path:
+                cond_supports[prefix_item] = (
+                    cond_supports.get(prefix_item, 0) + summary.support
+                )
+        keep = {it for it, s in cond_supports.items() if s >= self.min_sup}
+        order = {
+            item: rank
+            for rank, item in enumerate(
+                sorted(keep, key=lambda it: (-cond_supports[it], it))
+            )
+        }
+        conditional = PSTree(max_per=self.max_per, item_order=order)
+        conditional.n_transactions = tree.n_transactions
+        for path, summary in bases:
+            filtered = sorted(
+                (it for it in path if it in keep), key=order.__getitem__
+            )
+            if filtered:
+                conditional.insert_conditional(filtered, summary)
+        return conditional

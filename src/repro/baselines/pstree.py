@@ -1,0 +1,197 @@
+"""The Periodic-Summary tree (PS-tree) of Kiran et al. [40].
+
+PS-growth's key idea is to replace the full tid-lists of PF-tree tail
+nodes with compact *period summaries*: runs of transaction ids whose
+consecutive gaps stay within ``max_per`` are stored as a single triple
+``(first, last, count)``.  The tree itself is an FP-tree style prefix tree
+over items in descending support order, with node-links chaining the
+occurrences of each item for the header table.
+
+Summaries are an interval compression: when two summaries from different
+branches interleave in time, the merged run can hide an above-``max_per``
+gap.  This is inherent to the period-summary representation (it is what
+buys the memory reduction); supports are always exact, and periodicity
+verdicts err only toward acceptance.  The APS-growth adapter sidesteps the
+issue entirely by running with ``max_per = |D|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import MiningError
+
+
+@dataclass
+class PeriodSummary:
+    """A compressed occurrence list: runs of tids with gaps <= ``max_per``."""
+
+    max_per: int
+    runs: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def add_tid(self, tid: int) -> None:
+        """Append a transaction id (tids must arrive in increasing order)."""
+        if self.runs:
+            first, last, count = self.runs[-1]
+            if tid <= last:
+                raise MiningError(f"tids must be strictly increasing, got {tid}")
+            if tid - last <= self.max_per:
+                self.runs[-1] = (first, tid, count + 1)
+                return
+        self.runs.append((tid, tid, 1))
+
+    @property
+    def support(self) -> int:
+        """Total number of occurrences (exact)."""
+        return sum(count for _, _, count in self.runs)
+
+    def merged_with(self, other: "PeriodSummary") -> "PeriodSummary":
+        """Union of two summaries, re-compressed under ``max_per``."""
+        if self.max_per != other.max_per:
+            raise MiningError("cannot merge summaries with different max_per")
+        merged = PeriodSummary(self.max_per)
+        runs = sorted(self.runs + other.runs)
+        for first, last, count in runs:
+            if merged.runs and first - merged.runs[-1][1] <= self.max_per:
+                m_first, m_last, m_count = merged.runs[-1]
+                merged.runs[-1] = (m_first, max(m_last, last), m_count + count)
+            else:
+                merged.runs.append((first, last, count))
+        return merged
+
+    def max_inter_run_gap(self, n_transactions: int) -> int:
+        """Largest period *visible* to the summary: gaps between runs plus
+        the leading/trailing boundary periods (periodic-frequent semantics
+        count the distance from tid 0 and to tid ``n_transactions``)."""
+        if not self.runs:
+            return n_transactions
+        gaps = [self.runs[0][0]]  # boundary: first occurrence
+        for (_, last, _), (first, _, _) in zip(self.runs, self.runs[1:]):
+            gaps.append(first - last)
+        gaps.append(n_transactions - self.runs[-1][1])  # trailing boundary
+        return max(gaps)
+
+    def is_periodic(self, n_transactions: int) -> bool:
+        """Periodicity check: every visible period <= ``max_per``."""
+        return self.max_inter_run_gap(n_transactions) <= self.max_per
+
+
+@dataclass
+class PSNode:
+    """One PS-tree node."""
+
+    item: str | None
+    parent: "PSNode | None" = None
+    children: dict[str, "PSNode"] = field(default_factory=dict)
+    summary: PeriodSummary | None = None  # tail-node occurrence summary
+    node_link: "PSNode | None" = None  # header-table chain
+
+
+@dataclass
+class PSTree:
+    """FP-tree style prefix tree with period summaries at tail nodes.
+
+    ``item_order`` maps item -> rank (descending support), fixing the
+    insertion order of every transaction.
+    """
+
+    max_per: int
+    item_order: dict[str, int]
+    root: PSNode = field(init=False)
+    header: dict[str, PSNode] = field(default_factory=dict)
+    header_tail: dict[str, PSNode] = field(default_factory=dict, repr=False)
+    n_transactions: int = 0
+
+    def __post_init__(self) -> None:
+        self.root = PSNode(item=None)
+
+    def insert_transaction(self, tid: int, items: list[str]) -> None:
+        """Insert one transaction; items are filtered/sorted by item_order."""
+        ordered = sorted(
+            (item for item in items if item in self.item_order),
+            key=self.item_order.__getitem__,
+        )
+        if not ordered:
+            return
+        node = self.root
+        for item in ordered:
+            child = node.children.get(item)
+            if child is None:
+                child = PSNode(item=item, parent=node)
+                node.children[item] = child
+                self._link(child)
+            node = child
+        if node.summary is None:
+            node.summary = PeriodSummary(self.max_per)
+        node.summary.add_tid(tid)
+
+    def insert_conditional(self, path: list[str], summary: PeriodSummary) -> None:
+        """Insert a conditional-pattern-base path carrying a summary."""
+        node = self.root
+        for item in path:
+            child = node.children.get(item)
+            if child is None:
+                child = PSNode(item=item, parent=node)
+                node.children[item] = child
+                self._link(child)
+            node = child
+        if node.summary is None:
+            node.summary = PeriodSummary(self.max_per)
+        node.summary = node.summary.merged_with(summary)
+
+    def _link(self, node: PSNode) -> None:
+        item = node.item
+        assert item is not None
+        if item not in self.header:
+            self.header[item] = node
+        else:
+            self.header_tail[item].node_link = node
+        self.header_tail[item] = node
+
+    def nodes_of(self, item: str):
+        """Iterate all nodes of ``item`` via the node-link chain."""
+        node = self.header.get(item)
+        while node is not None:
+            yield node
+            node = node.node_link
+
+    def item_summary(self, item: str) -> PeriodSummary:
+        """Merged occurrence summary of an item over the whole tree.
+
+        A node's occurrences are its own tail summary plus the summaries of
+        every tail node *below* it (descendant transactions pass through).
+        """
+        total = PeriodSummary(self.max_per)
+        for node in self.nodes_of(item):
+            for summary in self._descendant_summaries(node):
+                total = total.merged_with(summary)
+        return total
+
+    def _descendant_summaries(self, node: PSNode):
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.summary is not None:
+                yield current.summary
+            stack.extend(current.children.values())
+
+    def path_to_root(self, node: PSNode) -> list[str]:
+        """Items on the path from ``node``'s parent up to (not incl.) root,
+        returned root-first."""
+        path: list[str] = []
+        current = node.parent
+        while current is not None and current.item is not None:
+            path.append(current.item)
+            current = current.parent
+        path.reverse()
+        return path
+
+    def n_nodes(self) -> int:
+        """Total node count (memory proxy for the evaluation)."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            current = stack.pop()
+            count += 1
+            stack.extend(current.children.values())
+        return count - 1  # exclude root

@@ -1,0 +1,106 @@
+"""Theorem 1 and Corollary 1.1 (paper Sec. V-B).
+
+* :func:`max_season_lower_bound` -- Eq. (6): given the MI threshold mu and
+  the event-pair probabilities, a lower bound on the pair's maxSeason.
+* :func:`mu_threshold` -- Eq. (11): the mu that guarantees the pair's
+  maxSeason is at least minSeason.
+* :func:`series_pair_mu` -- the final mu for a series pair: the minimum mu
+  over all its event pairs (as the paper prescribes below Corollary 1.1).
+
+Conventions: ``lambda1`` is the minimum symbol probability of the
+conditioned series ``XS``; ``lambda2`` is the probability of the specific
+symbol ``Y1`` of ``YS``; logs are base 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import MiningParams
+from repro.core.lambertw import BRANCH_POINT, lambert_w0
+from repro.exceptions import MiningError
+from repro.symbolic.series import SymbolicSeries
+
+
+def _validate_probability(name: str, value: float) -> None:
+    if not 0.0 < value <= 1.0:
+        raise MiningError(f"{name} must be a probability in (0, 1], got {value}")
+
+
+def max_season_lower_bound(
+    lambda1: float,
+    lambda2: float,
+    mu: float,
+    n_granules: int,
+    min_density: int,
+) -> float:
+    """Eq. (6): lower bound on ``maxSeason(X1, Y1)`` given NMI >= mu.
+
+    Returns 0.0 when the Lambert argument falls below the branch point
+    -1/e, in which case the derivation imposes no constraint.
+    """
+    _validate_probability("lambda1", lambda1)
+    _validate_probability("lambda2", lambda2)
+    if not 0.0 <= mu <= 1.0:
+        raise MiningError(f"mu must be in [0, 1], got {mu}")
+    if lambda1 == 1.0:
+        # log(lambda1) == 0: XS is constant, the bound degenerates.
+        return 0.0
+    argument = (1.0 - mu) * math.log2(lambda1) * math.log(2.0) / lambda2
+    if argument < BRANCH_POINT:
+        # Corollary 1.1's case-1 mu lands exactly on -1/e; tolerate the
+        # floating-point residue of that round trip.
+        if argument > BRANCH_POINT - 1e-9:
+            argument = BRANCH_POINT
+        else:
+            return 0.0
+    return (lambda2 * n_granules / min_density) * math.exp(lambert_w0(argument))
+
+
+def mu_threshold(
+    lambda1: float,
+    lambda2: float,
+    min_season: int,
+    min_density: int,
+    n_granules: int,
+) -> float:
+    """Eq. (11): the mu making the pair's maxSeason bound reach minSeason.
+
+    The result is clamped to [0, 1]; a clamp at 1.0 means only a perfectly
+    correlated pair could guarantee the requested seasonality.
+    """
+    _validate_probability("lambda1", lambda1)
+    _validate_probability("lambda2", lambda2)
+    if min_season < 1 or min_density < 1 or n_granules < 1:
+        raise MiningError("min_season, min_density and n_granules must be >= 1")
+    if lambda1 == 1.0:
+        # Constant conditioned series: no uncertainty, any mu works.
+        return 0.0
+    rho = min_season * min_density / (lambda2 * n_granules)
+    log2_lambda1 = math.log2(lambda1)  # negative
+    if rho <= 1.0 / math.e:
+        mu = 1.0 - lambda2 / (math.e * math.log(2.0) * math.log2(1.0 / lambda1))
+    else:
+        mu = 1.0 - rho * lambda2 * math.log2(rho) / (math.log(2.0) * log2_lambda1)
+    return min(max(mu, 0.0), 1.0)
+
+
+def series_pair_mu(
+    x: SymbolicSeries,
+    y: SymbolicSeries,
+    params: MiningParams,
+    n_granules: int,
+) -> float:
+    """The mu of a series pair: minimum mu over all event pairs in (XS, YS).
+
+    ``lambda1`` is fixed per direction (the minimum observed symbol
+    probability of XS); mu then varies with ``lambda2 = p(Y1)`` over YS's
+    observed symbols, and the minimum over them is returned.
+    """
+    probabilities_x = [p for p in x.probabilities().values() if p > 0.0]
+    probabilities_y = [p for p in y.probabilities().values() if p > 0.0]
+    lambda1 = min(probabilities_x)
+    return min(
+        mu_threshold(lambda1, lambda2, params.min_season, params.min_density, n_granules)
+        for lambda2 in probabilities_y
+    )

@@ -1,0 +1,117 @@
+"""Mining parameters (paper Sec. III-E and Table VI).
+
+The FreqSTPfTS problem is governed by four user thresholds:
+
+* ``max_period``  -- maximal period between two consecutive granules of a
+  near support set (Def. 3.13);
+* ``min_density`` -- minimal number of granules a near support set needs to
+  be a season (Def. 3.14);
+* ``dist_interval = [dist_min, dist_max]`` -- allowed distance between two
+  consecutive seasons (Def. 3.15);
+* ``min_season``  -- minimal number of seasons of a frequent pattern.
+
+The paper's experiments express maxPeriod and minDensity as percentages of
+``|DSEQ|`` (Table VI); :meth:`MiningParams.from_percentages` resolves those
+to absolute granule counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.events.relations import RelationConfig
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True)
+class MiningParams:
+    """Absolute-valued thresholds driving a mining run.
+
+    Parameters
+    ----------
+    max_period:
+        Maximal gap (in coarse granule positions) inside a season.
+    min_density:
+        Minimal granule count of a season.
+    dist_interval:
+        ``(dist_min, dist_max)`` between consecutive seasons, measured from
+        the end of one season to the start of the next.
+    min_season:
+        Minimal number of seasons of a frequent seasonal pattern.
+    relation:
+        Tolerance settings for the Follows / Contains / Overlaps checks.
+    max_pattern_length:
+        Upper bound on the number of events per pattern (the ``h`` of the
+        search-space analysis).  The search space is O(n^h 3^(h^2)); 3 is
+        the paper's qualitative pattern length and our default.
+    """
+
+    max_period: int
+    min_density: int
+    dist_interval: tuple[int, int]
+    min_season: int
+    relation: RelationConfig = field(default_factory=RelationConfig)
+    max_pattern_length: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_period < 1:
+            raise ConfigError(f"max_period must be >= 1, got {self.max_period}")
+        if self.min_density < 1:
+            raise ConfigError(f"min_density must be >= 1, got {self.min_density}")
+        dist_min, dist_max = self.dist_interval
+        if dist_min < 0 or dist_max < dist_min:
+            raise ConfigError(
+                f"dist_interval needs 0 <= dist_min <= dist_max, got {self.dist_interval}"
+            )
+        if self.min_season < 1:
+            raise ConfigError(f"min_season must be >= 1, got {self.min_season}")
+        if self.max_pattern_length < 1:
+            raise ConfigError(
+                f"max_pattern_length must be >= 1, got {self.max_pattern_length}"
+            )
+
+    @property
+    def dist_min(self) -> int:
+        """Lower bound of the season distance interval."""
+        return self.dist_interval[0]
+
+    @property
+    def dist_max(self) -> int:
+        """Upper bound of the season distance interval."""
+        return self.dist_interval[1]
+
+    @classmethod
+    def from_percentages(
+        cls,
+        n_granules: int,
+        max_period_pct: float,
+        min_density_pct: float,
+        dist_interval: tuple[int, int],
+        min_season: int,
+        relation: RelationConfig | None = None,
+        max_pattern_length: int = 3,
+    ) -> "MiningParams":
+        """Resolve Table VI style percentage thresholds to absolute counts.
+
+        ``max_period_pct`` and ``min_density_pct`` are percentages of
+        ``n_granules`` (e.g. ``0.4`` means 0.4%).  Values are rounded up
+        and floored at 1 so tiny databases stay minable.
+        """
+        if n_granules < 1:
+            raise ConfigError(f"n_granules must be >= 1, got {n_granules}")
+        for label, pct in (("max_period_pct", max_period_pct), ("min_density_pct", min_density_pct)):
+            if pct <= 0:
+                raise ConfigError(f"{label} must be > 0, got {pct}")
+        return cls(
+            max_period=max(1, math.ceil(n_granules * max_period_pct / 100.0)),
+            min_density=max(1, math.ceil(n_granules * min_density_pct / 100.0)),
+            dist_interval=dist_interval,
+            min_season=min_season,
+            relation=relation or RelationConfig(),
+            max_pattern_length=max_pattern_length,
+        )
+
+    def with_updates(self, **changes) -> "MiningParams":
+        """A copy with the given fields replaced (parameter sweeps)."""
+        return replace(self, **changes)

@@ -1,0 +1,138 @@
+"""Hierarchical lookup hash structures HLH1 / HLHk (paper Figs. 4-6).
+
+``HLH1`` keeps candidate seasonal *single events*:
+
+* ``EH``  (single event hash table): event key -> support-set granules;
+* ``GH``  (event granule hash table): the event's granules -> the event
+  instances occurring there.
+
+``HLHk`` (k >= 2) keeps candidate seasonal *k-event groups and patterns*:
+
+* ``EHk`` (k-event hash table): sorted k-event group -> group support set
+  plus the group's candidate patterns;
+* ``PHk`` (pattern hash table): candidate pattern -> its support granules;
+* ``GHk`` (pattern granule hash table): per granule, the instance tuples
+  from which the pattern's relations are formed.
+
+The Python dictionaries are the hash tables; the "hierarchical" linking of
+the paper (EH values are GH keys, EHk values feed PHk, PHk values feed GHk)
+is realized by sharing the same key objects across levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pattern import TemporalPattern
+from repro.events.event import EventInstance
+
+
+@dataclass
+class HLH1:
+    """Candidate seasonal single events with their supports and instances."""
+
+    eh: dict[str, list[int]] = field(default_factory=dict)
+    gh: dict[str, dict[int, list[EventInstance]]] = field(default_factory=dict)
+
+    def add_event(
+        self,
+        event: str,
+        support: list[int],
+        instances_by_granule: dict[int, list[EventInstance]],
+    ) -> None:
+        """Insert a candidate single event (Alg. 1 line 4)."""
+        self.eh[event] = support
+        self.gh[event] = instances_by_granule
+
+    def support_of(self, event: str) -> list[int]:
+        """Support set of a candidate event (``SUP_E``)."""
+        return self.eh[event]
+
+    def instances_of(self, event: str, granule: int) -> list[EventInstance]:
+        """Instances of ``event`` at ``granule``."""
+        return self.gh[event].get(granule, [])
+
+    @property
+    def candidates(self) -> list[str]:
+        """The candidate single events F1, in insertion order."""
+        return list(self.eh)
+
+    def __len__(self) -> int:
+        return len(self.eh)
+
+    def __contains__(self, event: str) -> bool:
+        return event in self.eh
+
+
+#: One realizing assignment of a pattern: its instances, chronologically
+#: ordered -- what GHk stores per granule.
+Assignment = tuple[EventInstance, ...]
+
+
+@dataclass
+class GroupEntry:
+    """The EHk value object: group support + candidate patterns."""
+
+    support: list[int]
+    patterns: list[TemporalPattern] = field(default_factory=list)
+
+
+@dataclass
+class HLHk:
+    """Candidate seasonal k-event groups and patterns for one level k."""
+
+    k: int
+    ehk: dict[tuple[str, ...], GroupEntry] = field(default_factory=dict)
+    phk: dict[TemporalPattern, list[int]] = field(default_factory=dict)
+    ghk: dict[TemporalPattern, dict[int, list[Assignment]]] = field(default_factory=dict)
+
+    def add_group(self, group: tuple[str, ...], support: list[int]) -> GroupEntry:
+        """Insert a candidate k-event group (Alg. 1 line 12)."""
+        entry = GroupEntry(support=support)
+        self.ehk[group] = entry
+        return entry
+
+    def add_pattern(
+        self,
+        pattern: TemporalPattern,
+        support: list[int],
+        assignments: dict[int, list[Assignment]],
+    ) -> None:
+        """Insert a candidate k-event pattern into PHk/GHk and its group."""
+        self.phk[pattern] = support
+        self.ghk[pattern] = assignments
+        entry = self.ehk.get(pattern.event_group)
+        if entry is not None:
+            entry.patterns.append(pattern)
+
+    def support_of(self, pattern: TemporalPattern) -> list[int]:
+        """Support set of a candidate pattern (``SUP_P``)."""
+        return self.phk[pattern]
+
+    def assignments_of(self, pattern: TemporalPattern, granule: int) -> list[Assignment]:
+        """Realizing instance tuples of ``pattern`` at ``granule``."""
+        return self.ghk[pattern].get(granule, [])
+
+    @property
+    def groups(self) -> list[tuple[str, ...]]:
+        """Candidate k-event groups Fk, in insertion order."""
+        return list(self.ehk)
+
+    @property
+    def patterns(self) -> list[TemporalPattern]:
+        """Candidate k-event patterns, in insertion order."""
+        return list(self.phk)
+
+    def events_in_patterns(self) -> set[str]:
+        """Single events occurring in any candidate pattern of this level.
+
+        This powers the transitivity filter (Lemma 4): only these events
+        can extend a (k)-group into a candidate (k+1)-group.
+        """
+        present: set[str] = set()
+        for pattern in self.phk:
+            present.update(pattern.events)
+        return present
+
+    def __len__(self) -> int:
+        return len(self.phk)

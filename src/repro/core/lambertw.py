@@ -1,0 +1,72 @@
+"""Lambert W function (Corless et al. [46]), used by Theorem 1.
+
+Theorem 1's lower bound evaluates ``e^{W(c)}`` for a negative argument
+``c in [-1/e, 0)``, where the principal branch ``W0`` applies.  We
+implement ``W0`` (and ``W_-1`` for completeness) with Halley's iteration,
+accurate to ~1e-12; the test suite validates both branches against
+``scipy.special.lambertw``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import MiningError
+
+#: The branch point -1/e below which W has no real value.
+BRANCH_POINT = -1.0 / math.e
+
+_MAX_ITERATIONS = 64
+_TOLERANCE = 1e-14
+
+
+def _halley(x: float, w: float) -> float:
+    """Refine an initial guess ``w`` of W(x) with Halley's method."""
+    for _ in range(_MAX_ITERATIONS):
+        e_w = math.exp(w)
+        f = w * e_w - x
+        denominator = e_w * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0)
+        if denominator == 0.0:
+            break
+        step = f / denominator
+        w -= step
+        if abs(step) <= _TOLERANCE * (1.0 + abs(w)):
+            break
+    return w
+
+
+def lambert_w0(x: float) -> float:
+    """Principal branch ``W0(x)`` for ``x >= -1/e``."""
+    if x < BRANCH_POINT - 1e-12:
+        raise MiningError(f"W0 undefined for x={x} < -1/e")
+    if x <= BRANCH_POINT:
+        return -1.0
+    if x == 0.0:
+        return 0.0
+    if x < 0.0:
+        # Series-inspired guess near the branch point, else log-based.
+        p = math.sqrt(2.0 * (math.e * x + 1.0))
+        w = -1.0 + p - p * p / 3.0
+    elif x < math.e:
+        w = x / math.e
+    else:
+        log_x = math.log(x)
+        w = log_x - math.log(log_x)
+    return _halley(x, w)
+
+
+def lambert_w_minus1(x: float) -> float:
+    """Secondary branch ``W_-1(x)`` for ``-1/e <= x < 0``."""
+    if not BRANCH_POINT - 1e-12 <= x < 0.0:
+        raise MiningError(f"W_-1 defined only on [-1/e, 0), got x={x}")
+    if x <= BRANCH_POINT:
+        return -1.0
+    # Initial guess from the asymptotic expansion near 0- and the branch
+    # point expansion near -1/e.
+    if x > -0.1:
+        log_neg = math.log(-x)
+        w = log_neg - math.log(-log_neg)
+    else:
+        p = -math.sqrt(2.0 * (math.e * x + 1.0))
+        w = -1.0 + p - p * p / 3.0
+    return _halley(x, w)

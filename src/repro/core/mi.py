@@ -1,0 +1,80 @@
+"""Entropy and mutual information on symbolic series (paper Defs. 5.1-5.3).
+
+All logarithms are base 2 (the paper's proofs use ``ln 2`` conversion
+factors, i.e. bits).  Probabilities are empirical frequencies over the
+aligned symbolic series in ``DSYB``; the joint distribution pairs the two
+series position by position.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.exceptions import MiningError
+from repro.symbolic.series import SymbolicSeries
+
+
+def entropy(series: SymbolicSeries) -> float:
+    """Shannon entropy ``H(XS)`` in bits (Def. 5.1, Eq. (2))."""
+    total = len(series)
+    return -sum(
+        (count / total) * math.log2(count / total)
+        for count in Counter(series.symbols).values()
+    )
+
+
+def joint_probabilities(
+    x: SymbolicSeries, y: SymbolicSeries
+) -> dict[tuple[str, str], float]:
+    """Empirical joint distribution ``p(x, y)`` of two aligned series."""
+    if len(x) != len(y):
+        raise MiningError(
+            f"series {x.name!r} ({len(x)}) and {y.name!r} ({len(y)}) "
+            "must be aligned to compute joint probabilities"
+        )
+    counts = Counter(zip(x.symbols, y.symbols))
+    total = len(x)
+    return {pair: count / total for pair, count in counts.items()}
+
+
+def conditional_entropy(x: SymbolicSeries, y: SymbolicSeries) -> float:
+    """Conditional entropy ``H(XS | YS)`` in bits (Eq. (3))."""
+    joint = joint_probabilities(x, y)
+    p_y = y.probabilities()
+    result = 0.0
+    for (_, symbol_y), p_xy in joint.items():
+        result -= p_xy * math.log2(p_xy / p_y[symbol_y])
+    return result
+
+
+def mutual_information(x: SymbolicSeries, y: SymbolicSeries) -> float:
+    """Mutual information ``I(XS; YS)`` in bits (Def. 5.2, Eq. (4))."""
+    joint = joint_probabilities(x, y)
+    p_x = x.probabilities()
+    p_y = y.probabilities()
+    result = 0.0
+    for (symbol_x, symbol_y), p_xy in joint.items():
+        result += p_xy * math.log2(p_xy / (p_x[symbol_x] * p_y[symbol_y]))
+    # Clamp tiny negative floating-point residue.
+    return max(result, 0.0)
+
+
+def normalized_mutual_information(x: SymbolicSeries, y: SymbolicSeries) -> float:
+    """Normalized MI ``I(XS;YS) / H(XS)`` (Def. 5.3, Eq. (5)).
+
+    Asymmetric by design.  A zero-entropy (constant) ``x`` carries no
+    uncertainty to reduce; we define the NMI as 0 in that degenerate case.
+    """
+    h_x = entropy(x)
+    if h_x == 0.0:
+        return 0.0
+    return min(mutual_information(x, y) / h_x, 1.0)
+
+
+def min_pairwise_nmi(x: SymbolicSeries, y: SymbolicSeries) -> float:
+    """The symmetric gate of Def. 5.4: ``min(NMI(X;Y), NMI(Y;X))``."""
+    return min(
+        normalized_mutual_information(x, y),
+        normalized_mutual_information(y, x),
+    )

@@ -1,0 +1,104 @@
+"""Multi-granularity mining (the paper's contribution (1)).
+
+FreqSTPfTS "can mine STP at different data granularities": the same
+symbolic database can be sequence-mapped with different ratios (e.g. a
+5-minute DSYB into 15-minute, 1-hour, or 1-day sequences) and mined at
+each level of the granularity hierarchy.  This module packages that loop:
+percentage-valued thresholds are re-resolved against each level's sequence
+count so one configuration drives every granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MiningParams
+from repro.core.prune import PruningConfig
+from repro.core.results import MiningResult
+from repro.core.stpm import ESTPM
+from repro.exceptions import ConfigError
+from repro.symbolic.database import SymbolicDatabase
+from repro.transform.sequence_db import build_sequence_database
+
+
+@dataclass(frozen=True)
+class GranularityLevelResult:
+    """The outcome of mining one hierarchy level."""
+
+    ratio: int
+    n_sequences: int
+    params: MiningParams
+    result: MiningResult
+
+
+@dataclass
+class MultiGranularityMiner:
+    """Mine one DSYB at several granularities of its hierarchy.
+
+    Parameters
+    ----------
+    dsyb:
+        The symbolic database at the finest granularity G.
+    ratios:
+        Sequence-mapping ratios, one per coarser granularity H (each must
+        leave at least ``min_sequences`` complete sequences).
+    max_period_pct / min_density_pct:
+        Table VI style percentage thresholds, re-resolved per level.
+    dist_interval:
+        Season distance interval *in fine granules*; converted to each
+        level's granule unit by dividing by the ratio.
+    min_season:
+        Minimum seasonal occurrence threshold (granularity independent).
+    """
+
+    dsyb: SymbolicDatabase
+    ratios: list[int]
+    max_period_pct: float = 0.4
+    min_density_pct: float = 0.5
+    dist_interval: tuple[int, int] = (0, 10_000)
+    min_season: int = 2
+    max_pattern_length: int = 3
+    pruning: PruningConfig = field(default_factory=PruningConfig.all)
+    min_sequences: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.ratios:
+            raise ConfigError("multi-granularity mining needs at least one ratio")
+        if sorted(set(self.ratios)) != sorted(self.ratios):
+            raise ConfigError(f"duplicate ratios in {self.ratios}")
+
+    def params_for(self, ratio: int, n_sequences: int) -> MiningParams:
+        """Resolve the shared configuration against one level."""
+        dist_min = self.dist_interval[0] // ratio
+        dist_max = max(dist_min, self.dist_interval[1] // ratio)
+        return MiningParams.from_percentages(
+            n_granules=n_sequences,
+            max_period_pct=self.max_period_pct,
+            min_density_pct=self.min_density_pct,
+            dist_interval=(dist_min, dist_max),
+            min_season=self.min_season,
+            max_pattern_length=self.max_pattern_length,
+        )
+
+    def mine_all(self) -> list[GranularityLevelResult]:
+        """Mine every level, finest ratio first."""
+        levels: list[GranularityLevelResult] = []
+        for ratio in sorted(self.ratios):
+            n_sequences = self.dsyb.n_instants // ratio
+            if n_sequences < self.min_sequences:
+                raise ConfigError(
+                    f"ratio {ratio} leaves only {n_sequences} sequences "
+                    f"(< {self.min_sequences}); drop it or supply more data"
+                )
+            dseq = build_sequence_database(self.dsyb, ratio)
+            params = self.params_for(ratio, n_sequences)
+            result = ESTPM(dseq, params, self.pruning).mine()
+            levels.append(
+                GranularityLevelResult(
+                    ratio=ratio,
+                    n_sequences=n_sequences,
+                    params=params,
+                    result=result,
+                )
+            )
+        return levels

@@ -1,0 +1,106 @@
+"""Query API over mining results.
+
+Mining runs on real data return thousands of patterns (Tables IX-X); this
+module provides the filters an analyst needs to navigate them: by event,
+by series, by relation type, by seasonal strength, and by structural
+containment (sub-/super-pattern search using Def. 3.8's ``P1 ⊆ P``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.pattern import TemporalPattern
+from repro.core.results import MiningResult, SeasonalPattern
+from repro.core.stpm import series_of
+
+
+@dataclass(frozen=True)
+class PatternQuery:
+    """A composable filter over a :class:`MiningResult`.
+
+    All constraints are conjunctive; unset fields do not filter.  Build
+    fluently::
+
+        PatternQuery().with_series("WindSpeed").min_size(2).min_seasons(6)
+    """
+
+    events: frozenset[str] = frozenset()
+    series: frozenset[str] = frozenset()
+    relations: frozenset[str] = frozenset()
+    size_at_least: int = 1
+    size_at_most: int | None = None
+    seasons_at_least: int = 0
+
+    def with_events(self, *events: str) -> "PatternQuery":
+        """Require every listed event to occur in the pattern."""
+        return replace(self, events=self.events | set(events))
+
+    def with_series(self, *series: str) -> "PatternQuery":
+        """Require at least one event of every listed series."""
+        return replace(self, series=self.series | set(series))
+
+    def with_relations(self, *relations: str) -> "PatternQuery":
+        """Require every listed relation type to occur in the pattern."""
+        return replace(self, relations=self.relations | set(relations))
+
+    def min_size(self, k: int) -> "PatternQuery":
+        """Require at least ``k`` events."""
+        return replace(self, size_at_least=k)
+
+    def max_size(self, k: int) -> "PatternQuery":
+        """Require at most ``k`` events."""
+        return replace(self, size_at_most=k)
+
+    def min_seasons(self, n: int) -> "PatternQuery":
+        """Require at least ``n`` seasons."""
+        return replace(self, seasons_at_least=n)
+
+    def matches(self, sp: SeasonalPattern) -> bool:
+        """Does one seasonal pattern satisfy every constraint?"""
+        if sp.size < self.size_at_least:
+            return False
+        if self.size_at_most is not None and sp.size > self.size_at_most:
+            return False
+        if sp.n_seasons < self.seasons_at_least:
+            return False
+        pattern_events = set(sp.pattern.events)
+        if not self.events <= pattern_events:
+            return False
+        if self.series:
+            pattern_series = {series_of(event) for event in pattern_events}
+            if not self.series <= pattern_series:
+                return False
+        if self.relations:
+            pattern_relations = {triple.relation for triple in sp.pattern.triples}
+            if not self.relations <= pattern_relations:
+                return False
+        return True
+
+    def run(self, result: MiningResult) -> list[SeasonalPattern]:
+        """Matching patterns, strongest seasonality first."""
+        matched = [sp for sp in result.patterns if self.matches(sp)]
+        matched.sort(key=lambda sp: (-sp.n_seasons, -sp.size, sp.pattern.describe()))
+        return matched
+
+
+def superpatterns_of(
+    pattern: TemporalPattern, result: MiningResult
+) -> list[SeasonalPattern]:
+    """All result patterns that contain ``pattern`` as a sub-pattern."""
+    return [
+        sp
+        for sp in result.patterns
+        if sp.pattern != pattern and pattern.is_subpattern_of(sp.pattern)
+    ]
+
+
+def subpatterns_of(
+    pattern: TemporalPattern, result: MiningResult
+) -> list[SeasonalPattern]:
+    """All result patterns contained in ``pattern``."""
+    return [
+        sp
+        for sp in result.patterns
+        if sp.pattern != pattern and sp.pattern.is_subpattern_of(pattern)
+    ]

@@ -1,0 +1,93 @@
+"""Mining results (frequent seasonal patterns plus run statistics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pattern import TemporalPattern
+from repro.core.seasonality import SeasonView
+
+
+@dataclass(frozen=True)
+class SeasonalPattern:
+    """One frequent seasonal temporal pattern with its seasonal evidence."""
+
+    pattern: TemporalPattern
+    seasons: SeasonView
+
+    @property
+    def size(self) -> int:
+        """Number of events in the pattern."""
+        return self.pattern.size
+
+    @property
+    def n_seasons(self) -> int:
+        """``seasons(P)`` -- how many seasons the pattern has."""
+        return self.seasons.n_seasons
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """The pattern's support set ``SUP_P``."""
+        return self.seasons.support
+
+    def describe(self) -> str:
+        """Readable one-line rendering with season count."""
+        return f"{self.pattern.describe()}  [seasons={self.n_seasons}]"
+
+
+@dataclass
+class MiningStats:
+    """Counters describing the work a mining run performed."""
+
+    n_granules: int = 0
+    n_events_scanned: int = 0
+    n_candidate_events: int = 0
+    n_groups_generated: dict[int, int] = field(default_factory=dict)
+    n_candidate_groups: dict[int, int] = field(default_factory=dict)
+    n_candidate_patterns: dict[int, int] = field(default_factory=dict)
+    n_frequent: dict[int, int] = field(default_factory=dict)
+    n_series_pruned: int = 0
+    n_events_pruned: int = 0
+    mi_seconds: float = 0.0
+    mining_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+
+    def bump(self, counter: dict[int, int], k: int, amount: int = 1) -> None:
+        """Increment a per-level counter."""
+        counter[k] = counter.get(k, 0) + amount
+
+
+@dataclass
+class MiningResult:
+    """Everything a mining run returns.
+
+    ``patterns`` contains the frequent seasonal patterns of every length
+    (including the 1-event frequent seasonal events, which the paper's
+    Alg. 1 also inserts into the output set P).
+    """
+
+    patterns: list[SeasonalPattern]
+    stats: MiningStats
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def by_size(self, k: int) -> list[SeasonalPattern]:
+        """Frequent seasonal patterns with exactly ``k`` events."""
+        return [sp for sp in self.patterns if sp.size == k]
+
+    def pattern_keys(self) -> set[TemporalPattern]:
+        """The pattern identity set (used by the accuracy metric)."""
+        return {sp.pattern for sp in self.patterns}
+
+    def multi_event_keys(self) -> set[TemporalPattern]:
+        """Pattern identities of the k >= 2 patterns only."""
+        return {sp.pattern for sp in self.patterns if sp.size >= 2}
+
+    def describe(self, limit: int = 20) -> str:
+        """A short textual report of the top patterns by season count."""
+        ordered = sorted(self.patterns, key=lambda sp: (-sp.n_seasons, sp.size))
+        lines = [sp.describe() for sp in ordered[:limit]]
+        if len(ordered) > limit:
+            lines.append(f"... and {len(ordered) - limit} more")
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Seasonality measures (paper Defs. 3.13-3.15 and Eq. (1)).
+
+Given the support set of an event / group / pattern, this module computes:
+
+* its maximal *near support sets* -- maximal runs whose consecutive-granule
+  periods are all <= ``max_period`` (Def. 3.13);
+* its *seasons* -- near support sets of density >= ``min_density`` chained
+  so that consecutive season distances lie in ``dist_interval``
+  (Defs. 3.14-3.15);
+* its ``maxSeason`` upper bound ``|SUP| / min_density`` (Eq. (1)), the
+  anti-monotone measure behind the Apriori-like pruning (Lemmas 1-2).
+
+Season chaining semantics
+-------------------------
+The paper defines seasons per near support set and requires every pair of
+consecutive seasons to respect ``dist_interval``; its worked example
+(Sec. IV-B) drops granule H9 from a near set because it starts closer than
+``dist_min`` to the previous season.  We pin this down as a left-to-right
+chain construction:
+
+1. Split the support set into maximal near support sets (gap <= maxPeriod).
+2. Walk the near sets in order, maintaining the current chain of seasons:
+   * while the next set starts closer than ``dist_min`` to the end of the
+     last season, its leading granules are trimmed (the H9 rule);
+   * a (possibly trimmed) set with density >= ``min_density`` joins the
+     chain if its distance is <= ``dist_max``; sparser sets are skipped;
+   * a distance > ``dist_max`` breaks the chain and starts a new one.
+3. ``seasons(P)`` is the length of the longest chain.
+
+For support sets whose near sets chain without breaks (the common case and
+all of the paper's examples) this is exactly the paper's definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MiningParams
+
+
+def max_season(support_size: int, min_density: int) -> float:
+    """The maximum seasonal occurrence bound of Eq. (1): ``|SUP|/minDensity``."""
+    return support_size / min_density
+
+
+def is_candidate(support_size: int, params: MiningParams) -> bool:
+    """Candidate gate of Sec. IV-B: ``maxSeason >= minSeason``."""
+    return max_season(support_size, params.min_density) >= params.min_season
+
+
+def split_near_support_sets(support: list[int], max_period: int) -> list[list[int]]:
+    """Maximal near support sets: split where the period exceeds maxPeriod."""
+    if not support:
+        return []
+    sets: list[list[int]] = []
+    current = [support[0]]
+    for position in support[1:]:
+        if position - current[-1] <= max_period:
+            current.append(position)
+        else:
+            sets.append(current)
+            current = [position]
+    sets.append(current)
+    return sets
+
+
+def season_distance(season_i: list[int], season_j: list[int]) -> int:
+    """Distance between consecutive seasons (Sec. III-E):
+    ``|p(last of season_i) - p(first of season_j)|``."""
+    return abs(season_j[0] - season_i[-1])
+
+
+@dataclass(frozen=True)
+class SeasonView:
+    """The seasonal decomposition of one support set.
+
+    Attributes
+    ----------
+    support:
+        The support set the view was computed from.
+    near_sets:
+        Its maximal near support sets (before density/distance filtering).
+    seasons:
+        The longest chain of seasons found (see module docstring).
+    """
+
+    support: tuple[int, ...]
+    near_sets: tuple[tuple[int, ...], ...]
+    seasons: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_seasons(self) -> int:
+        """``seasons(P)`` -- the number of seasons in the best chain."""
+        return len(self.seasons)
+
+    def densities(self) -> list[int]:
+        """Density of each season (granule counts)."""
+        return [len(season) for season in self.seasons]
+
+    def distances(self) -> list[int]:
+        """Distances between consecutive seasons in the chain."""
+        return [
+            season_distance(list(a), list(b))
+            for a, b in zip(self.seasons, self.seasons[1:])
+        ]
+
+
+def _chain_seasons(
+    near_sets: list[list[int]], params: MiningParams
+) -> list[list[list[int]]]:
+    """All season chains, built left-to-right with the H9 trimming rule."""
+    chains: list[list[list[int]]] = []
+    current: list[list[int]] = []
+    for near_set in near_sets:
+        candidate = near_set
+        if current:
+            last_end = current[-1][-1]
+            # Trim leading granules that sit closer than dist_min (H9 rule).
+            start_index = 0
+            while (
+                start_index < len(candidate)
+                and candidate[start_index] - last_end < params.dist_min
+            ):
+                start_index += 1
+            candidate = candidate[start_index:]
+            if not candidate:
+                continue
+            distance = candidate[0] - last_end
+            if distance > params.dist_max:
+                # Chain broken by a too-long gap; start fresh from this set.
+                chains.append(current)
+                current = []
+                candidate = near_set
+        if len(candidate) >= params.min_density:
+            current.append(candidate)
+    if current:
+        chains.append(current)
+    return chains
+
+
+def compute_seasons(support: list[int], params: MiningParams) -> SeasonView:
+    """Full seasonal decomposition of a support set under ``params``."""
+    near_sets = split_near_support_sets(support, params.max_period)
+    chains = _chain_seasons(near_sets, params)
+    best: list[list[int]] = max(chains, key=len) if chains else []
+    return SeasonView(
+        support=tuple(support),
+        near_sets=tuple(tuple(s) for s in near_sets),
+        seasons=tuple(tuple(s) for s in best),
+    )
+
+
+def count_seasons(support: list[int], params: MiningParams) -> int:
+    """``seasons(P)`` without materializing the full view."""
+    return compute_seasons(support, params).n_seasons
+
+
+def is_frequent_seasonal(support: list[int], params: MiningParams) -> bool:
+    """Def. 3.15 check: at least ``min_season`` chained seasons."""
+    return count_seasons(support, params) >= params.min_season

@@ -1,0 +1,364 @@
+"""E-STPM: the exact Seasonal Temporal Pattern Mining algorithm (Alg. 1).
+
+The miner follows the paper's two mining steps on a temporal sequence
+database ``DSEQ``:
+
+* **Step 2.1** -- mine frequent seasonal single events: one scan of DSEQ
+  computes every event's support set; events passing the ``maxSeason``
+  candidate gate populate ``HLH1``; candidates passing the full seasonal
+  check (maxPeriod / minDensity / distInterval / minSeason) are frequent.
+* **Step 2.2** -- mine frequent seasonal k-event patterns, k >= 2:
+  candidate k-event groups come from the Cartesian product
+  ``F_{k-1} x FilteredF1`` with support-set intersection; patterns are
+  grown by extending the (k-1)-pattern assignments stored in ``GH_{k-1}``
+  with instances of the new event, verifying each new relation triple
+  against the candidate 2-event patterns (the Iterative Check of
+  Sec. IV-D 4.2.2).
+
+Pruning is controlled by :class:`~repro.core.prune.PruningConfig`:
+``apriori`` applies the maxSeason candidate gates (Lemmas 1-2);
+``transitivity`` restricts F1 to events present in HLH_{k-1} patterns
+(Lemmas 3-4).  Both are lossless.
+
+The optional ``series_filter`` / ``pair_filter`` hooks implement A-STPM's
+search-space reduction (only mine events of correlated series and 2-event
+groups of correlated series pairs); plain E-STPM leaves them ``None``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations, combinations_with_replacement, product
+
+from repro.core.config import MiningParams
+from repro.core.hlh import HLH1, Assignment, HLHk
+from repro.core.pattern import (
+    TemporalPattern,
+    Triple,
+    oriented_triple,
+    single_event_pattern,
+    splice_triples,
+)
+from repro.core.prune import PruningConfig
+from repro.core.results import MiningResult, MiningStats, SeasonalPattern
+from repro.core.seasonality import compute_seasons, is_candidate
+from repro.core.support import intersect_sorted
+from repro.events.event import EventInstance
+from repro.events.relations import relation_of_pair
+from repro.exceptions import MiningError
+from repro.transform.sequence_db import TemporalSequenceDatabase
+
+
+def series_of(event: str) -> str:
+    """The series name of an event key ``series:symbol``."""
+    return event.rsplit(":", 1)[0]
+
+
+@dataclass
+class ESTPM:
+    """The exact seasonal temporal pattern miner.
+
+    Parameters
+    ----------
+    dseq:
+        The temporal sequence database to mine.
+    params:
+        The four seasonal thresholds plus relation settings.
+    pruning:
+        Which pruning techniques to apply (default: both).
+    series_filter:
+        If set, only events of these series are mined (A-STPM hook).
+    pair_filter:
+        If set, a 2-event group across two *different* series is only mined
+        when the (unordered) series pair is in this set (A-STPM hook);
+        same-series groups are always mined.
+    event_filter:
+        If set, only these event keys are mined (the event-level pruning
+        extension of A-STPM).
+    """
+
+    dseq: TemporalSequenceDatabase
+    params: MiningParams
+    pruning: PruningConfig = field(default_factory=PruningConfig.all)
+    series_filter: set[str] | None = None
+    pair_filter: set[frozenset[str]] | None = None
+    event_filter: set[str] | None = None
+
+    def mine(self) -> MiningResult:
+        """Run the full mining process and return all frequent seasonal
+        patterns of length 1..max_pattern_length."""
+        started = time.perf_counter()
+        stats = MiningStats(n_granules=len(self.dseq))
+        patterns: list[SeasonalPattern] = []
+
+        hlh1 = self._mine_single_events(patterns, stats)
+        levels: dict[int, HLHk] = {}
+        if self.params.max_pattern_length >= 2:
+            hlh2 = self._mine_two_event_patterns(hlh1, patterns, stats)
+            levels[2] = hlh2
+            candidate_triples = {p.triples[0] for p in hlh2.phk}
+            previous = hlh2
+            k = 3
+            while k <= self.params.max_pattern_length and previous.phk:
+                current = self._mine_k_event_patterns(
+                    hlh1, previous, candidate_triples, k, patterns, stats
+                )
+                levels[k] = current
+                previous = current
+                k += 1
+
+        stats.mining_seconds = time.perf_counter() - started
+        return MiningResult(patterns=patterns, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Step 2.1: single events
+    # ------------------------------------------------------------------
+
+    def _mine_single_events(
+        self, patterns: list[SeasonalPattern], stats: MiningStats
+    ) -> HLH1:
+        hlh1 = HLH1()
+        params = self.params
+        for event, support in sorted(self.dseq.event_support().items()):
+            if self.series_filter is not None and series_of(event) not in self.series_filter:
+                stats.n_events_pruned += 1
+                continue
+            if self.event_filter is not None and event not in self.event_filter:
+                stats.n_events_pruned += 1
+                continue
+            stats.n_events_scanned += 1
+            if self.pruning.apriori and not is_candidate(len(support), params):
+                continue
+            instances_by_granule = {
+                position: self.dseq.instances_at(position, event)
+                for position in support
+            }
+            hlh1.add_event(event, support, instances_by_granule)
+            view = compute_seasons(support, params)
+            if view.n_seasons >= params.min_season:
+                patterns.append(SeasonalPattern(single_event_pattern(event), view))
+        stats.n_candidate_events = len(hlh1)
+        stats.bump(stats.n_frequent, 1, sum(1 for p in patterns if p.size == 1))
+        return hlh1
+
+    # ------------------------------------------------------------------
+    # Step 2.2, k = 2
+    # ------------------------------------------------------------------
+
+    def _pair_allowed(self, event_a: str, event_b: str) -> bool:
+        if self.pair_filter is None:
+            return True
+        series_a, series_b = series_of(event_a), series_of(event_b)
+        if series_a == series_b:
+            return True
+        return frozenset((series_a, series_b)) in self.pair_filter
+
+    def _mine_two_event_patterns(
+        self, hlh1: HLH1, patterns: list[SeasonalPattern], stats: MiningStats
+    ) -> HLHk:
+        params = self.params
+        hlh2 = HLHk(k=2)
+        f1 = sorted(hlh1.candidates)
+        for event_a, event_b in combinations_with_replacement(f1, 2):
+            if not self._pair_allowed(event_a, event_b):
+                continue
+            stats.bump(stats.n_groups_generated, 2)
+            support = intersect_sorted(hlh1.support_of(event_a), hlh1.support_of(event_b))
+            if self.pruning.apriori and not is_candidate(len(support), params):
+                continue
+            hlh2.add_group((event_a, event_b), support)
+            stats.bump(stats.n_candidate_groups, 2)
+            pattern_support: dict[TemporalPattern, list[int]] = {}
+            pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
+            for granule in support:
+                instances_a = hlh1.instances_of(event_a, granule)
+                if event_a == event_b:
+                    pairs = combinations(instances_a, 2)
+                else:
+                    pairs = product(instances_a, hlh1.instances_of(event_b, granule))
+                for a, b in pairs:
+                    located = relation_of_pair(a, b, params.relation)
+                    if located is None:
+                        continue
+                    relation, earlier, later = located
+                    pattern = TemporalPattern(
+                        (earlier.event, later.event),
+                        (Triple(relation, earlier.event, later.event),),
+                    )
+                    support_list = pattern_support.setdefault(pattern, [])
+                    if not support_list or support_list[-1] != granule:
+                        support_list.append(granule)
+                    pattern_assignments.setdefault(pattern, {}).setdefault(
+                        granule, []
+                    ).append((earlier, later))
+            self._register_patterns(
+                hlh2, pattern_support, pattern_assignments, patterns, stats
+            )
+        return hlh2
+
+    # ------------------------------------------------------------------
+    # Step 2.2, k >= 3
+    # ------------------------------------------------------------------
+
+    def _mine_k_event_patterns(
+        self,
+        hlh1: HLH1,
+        previous: HLHk,
+        candidate_triples: set[Triple],
+        k: int,
+        patterns: list[SeasonalPattern],
+        stats: MiningStats,
+    ) -> HLHk:
+        params = self.params
+        hlhk = HLHk(k=k)
+        if self.pruning.transitivity:
+            filtered_f1 = sorted(previous.events_in_patterns())
+        else:
+            filtered_f1 = sorted(hlh1.candidates)
+        seen_groups: set[tuple[str, ...]] = set()
+        for group_prev in previous.groups:
+            entry_prev = previous.ehk[group_prev]
+            if not entry_prev.patterns:
+                continue
+            for event in filtered_f1:
+                group = tuple(sorted(group_prev + (event,)))
+                if group in seen_groups:
+                    continue
+                seen_groups.add(group)
+                stats.bump(stats.n_groups_generated, k)
+                support = intersect_sorted(entry_prev.support, hlh1.support_of(event))
+                if self.pruning.apriori and not is_candidate(len(support), params):
+                    continue
+                hlhk.add_group(group, support)
+                stats.bump(stats.n_candidate_groups, k)
+                pattern_support, pattern_assignments = self._extend_patterns(
+                    hlh1, previous, entry_prev, event, candidate_triples
+                )
+                self._register_patterns(
+                    hlhk, pattern_support, pattern_assignments, patterns, stats
+                )
+        return hlhk
+
+    def _extend_patterns(
+        self,
+        hlh1: HLH1,
+        previous: HLHk,
+        entry_prev,
+        event: str,
+        candidate_triples: set[Triple],
+    ) -> tuple[
+        dict[TemporalPattern, list[int]],
+        dict[TemporalPattern, dict[int, list[Assignment]]],
+    ]:
+        """Extend every candidate pattern of one parent group with ``event``.
+
+        This is the Iterative Check of Sec. IV-D 4.2.2: each new relation
+        triple between an existing event and the new event must already be
+        a candidate 2-event pattern, otherwise the extension is discarded.
+        """
+        relation = self.params.relation
+        check_candidates = self.pruning.apriori
+        # Keyed by (events, triples) plain tuples in the hot loop; converted
+        # to TemporalPattern objects once per unique pattern at the end.
+        accumulator: dict[tuple, dict[int, set[Assignment]]] = {}
+        # Per-granule cache of oriented relation triples: each (existing
+        # instance, new instance) pair is related exactly once even though
+        # it appears in many parent assignments.
+        pair_cache: dict[int, dict[tuple[EventInstance, EventInstance], tuple | None]] = {}
+        event_support = hlh1.support_of(event)
+        for pattern_prev in entry_prev.patterns:
+            prev_events = pattern_prev.events
+            prev_triples = pattern_prev.triples
+            k = len(prev_events) + 1
+            common = intersect_sorted(previous.support_of(pattern_prev), event_support)
+            for granule in common:
+                new_instances = hlh1.instances_of(event, granule)
+                cache = pair_cache.setdefault(granule, {})
+                for assignment in previous.assignments_of(pattern_prev, granule):
+                    for instance in new_instances:
+                        if instance in assignment:
+                            continue
+                        position = 0
+                        partner: list[Triple] = []
+                        valid = True
+                        for existing in assignment:
+                            pair = (existing, instance)
+                            info = cache.get(pair, False)
+                            if info is False:
+                                info = oriented_triple(existing, instance, relation)
+                                cache[pair] = info
+                            if info is None:
+                                valid = False
+                                break
+                            existing_first, triple = info
+                            if existing_first:
+                                position += 1
+                            if check_candidates and triple not in candidate_triples:
+                                valid = False
+                                break
+                            partner.append(triple)
+                        if not valid:
+                            continue
+                        events = (
+                            prev_events[:position]
+                            + (instance.event,)
+                            + prev_events[position:]
+                        )
+                        triples = splice_triples(prev_triples, partner, position, k)
+                        ordered = (
+                            assignment[:position]
+                            + (instance,)
+                            + assignment[position:]
+                        )
+                        # The same assignment can be reached through two
+                        # parent patterns when the new pattern embeds the
+                        # parent group's events in more than one way, so
+                        # deduplicate per granule.
+                        per_granule = accumulator.setdefault((events, triples), {})
+                        per_granule.setdefault(granule, set()).add(ordered)
+        pattern_support: dict[TemporalPattern, list[int]] = {}
+        pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
+        for (events, triples), per_granule in accumulator.items():
+            pattern = TemporalPattern(events, triples)
+            pattern_support[pattern] = sorted(per_granule)
+            pattern_assignments[pattern] = {
+                granule: sorted(assignments)
+                for granule, assignments in per_granule.items()
+            }
+        return pattern_support, pattern_assignments
+
+    # ------------------------------------------------------------------
+    # Shared registration of candidate + frequent patterns
+    # ------------------------------------------------------------------
+
+    def _register_patterns(
+        self,
+        hlhk: HLHk,
+        pattern_support: dict[TemporalPattern, list[int]],
+        pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]],
+        patterns: list[SeasonalPattern],
+        stats: MiningStats,
+    ) -> None:
+        params = self.params
+        for pattern, support in pattern_support.items():
+            if self.pruning.apriori and not is_candidate(len(support), params):
+                continue
+            hlhk.add_pattern(pattern, support, pattern_assignments[pattern])
+            stats.bump(stats.n_candidate_patterns, hlhk.k)
+            view = compute_seasons(support, params)
+            if view.n_seasons >= params.min_season:
+                patterns.append(SeasonalPattern(pattern, view))
+                stats.bump(stats.n_frequent, hlhk.k)
+
+
+def mine_seasonal_patterns(
+    dseq: TemporalSequenceDatabase,
+    params: MiningParams,
+    pruning: PruningConfig | None = None,
+) -> MiningResult:
+    """Convenience wrapper: run E-STPM with the given (or full) pruning."""
+    if len(dseq) == 0:
+        raise MiningError("cannot mine an empty DSEQ")
+    miner = ESTPM(dseq, params, pruning or PruningConfig.all())
+    return miner.mine()

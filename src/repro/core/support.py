@@ -1,0 +1,45 @@
+"""Support sets and their algebra (paper Def. 3.12).
+
+A support set is the increasing list of granule positions where an event,
+an event group, or a pattern occurs.  Group supports are intersections of
+event supports -- the operation HLHk's ``EHk`` table performs when growing
+k-event groups (paper Sec. IV-D 4.1).
+"""
+
+from __future__ import annotations
+
+
+def intersect_sorted(left: list[int], right: list[int]) -> list[int]:
+    """Intersection of two sorted position lists (linear two-pointer merge)."""
+    result: list[int] = []
+    i = j = 0
+    len_left, len_right = len(left), len(right)
+    while i < len_left and j < len_right:
+        a, b = left[i], right[j]
+        if a == b:
+            result.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return result
+
+
+def intersect_many(supports: list[list[int]]) -> list[int]:
+    """Intersection of several sorted support sets, smallest-first for speed."""
+    if not supports:
+        return []
+    ordered = sorted(supports, key=len)
+    result = ordered[0]
+    for other in ordered[1:]:
+        if not result:
+            break
+        result = intersect_sorted(result, other)
+    return result
+
+
+def is_sorted_strict(positions: list[int]) -> bool:
+    """True if positions are strictly increasing (a valid support set)."""
+    return all(a < b for a, b in zip(positions, positions[1:]))

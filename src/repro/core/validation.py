@@ -1,0 +1,106 @@
+"""Independent validation of mining results against their DSEQ.
+
+Re-derives, from first principles (Defs. 3.12-3.15), everything a
+:class:`~repro.core.results.MiningResult` claims:
+
+* every support granule actually realizes the pattern (an instance
+  assignment with all pairwise relations exists there);
+* no occurrence granule is missing from the support set;
+* the seasonal decomposition matches a fresh :func:`compute_seasons`;
+* every threshold (minDensity, distInterval, minSeason) holds.
+
+This is a verification oracle: slower than the miner (it re-enumerates
+instance combinations per granule) but entirely independent of the HLH
+machinery, which makes it the right tool for failure-injection tests and
+for users auditing archived results.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+
+from repro.core.config import MiningParams
+from repro.core.pattern import TemporalPattern, pattern_from_instances
+from repro.core.results import MiningResult, SeasonalPattern
+from repro.core.seasonality import compute_seasons
+from repro.transform.sequence_db import TemporalSequenceDatabase
+
+
+def pattern_occurs_at(
+    pattern: TemporalPattern,
+    dseq: TemporalSequenceDatabase,
+    position: int,
+    params: MiningParams,
+) -> bool:
+    """Does some instance assignment realize ``pattern`` at ``position``?"""
+    row = dseq.sequence_at(position)
+    pools = []
+    for event in pattern.events:
+        instances = row.instances_of(event)
+        if not instances:
+            return False
+        pools.append(instances)
+    for assignment in product(*pools):
+        if len(set(assignment)) != len(assignment):
+            continue  # duplicate events need distinct instances
+        realized = pattern_from_instances(assignment, params.relation)
+        if realized is not None and realized == pattern:
+            return True
+    return False
+
+
+def true_support(
+    pattern: TemporalPattern,
+    dseq: TemporalSequenceDatabase,
+    params: MiningParams,
+) -> list[int]:
+    """The pattern's support set, recomputed by exhaustive per-granule check."""
+    if pattern.size == 1:
+        return dseq.event_support().get(pattern.events[0], [])
+    candidates = dseq.event_support().get(pattern.events[0], range(1, len(dseq) + 1))
+    return [
+        position
+        for position in candidates
+        if pattern_occurs_at(pattern, dseq, position, params)
+    ]
+
+
+def validate_seasonal_pattern(
+    sp: SeasonalPattern,
+    dseq: TemporalSequenceDatabase,
+    params: MiningParams,
+) -> list[str]:
+    """All violations of one reported pattern (empty list = valid)."""
+    problems: list[str] = []
+    label = sp.pattern.describe()
+    recomputed = true_support(sp.pattern, dseq, params)
+    if list(sp.support) != recomputed:
+        problems.append(
+            f"{label}: reported support {list(sp.support)} != recomputed {recomputed}"
+        )
+    fresh = compute_seasons(list(sp.support), params)
+    if fresh.seasons != sp.seasons.seasons:
+        problems.append(f"{label}: seasonal decomposition mismatch")
+    if sp.n_seasons < params.min_season:
+        problems.append(f"{label}: only {sp.n_seasons} seasons < minSeason")
+    for density in sp.seasons.densities():
+        if density < params.min_density:
+            problems.append(f"{label}: season density {density} < minDensity")
+    for distance in sp.seasons.distances():
+        if not params.dist_min <= distance <= params.dist_max:
+            problems.append(f"{label}: season distance {distance} outside distInterval")
+    return problems
+
+
+def validate_result(
+    result: MiningResult,
+    dseq: TemporalSequenceDatabase,
+    params: MiningParams,
+    limit: int | None = None,
+) -> list[str]:
+    """Validate (up to ``limit``) patterns of a result; returns violations."""
+    problems: list[str] = []
+    patterns = result.patterns if limit is None else result.patterns[:limit]
+    for sp in patterns:
+        problems.extend(validate_seasonal_pattern(sp, dseq, params))
+    return problems

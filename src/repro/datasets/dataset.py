@@ -1,0 +1,136 @@
+"""The :class:`Dataset` container shared by all simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MiningParams
+from repro.exceptions import DatasetError
+from repro.symbolic.alphabet import Alphabet
+from repro.symbolic.database import SymbolicDatabase
+from repro.symbolic.mapping import QuantileMapper
+from repro.symbolic.series import TimeSeries
+from repro.transform.sequence_db import TemporalSequenceDatabase, build_sequence_database
+
+#: Standard level alphabets, keyed by size.
+LEVELS_3 = Alphabet.levels(("Low", "Medium", "High"))
+LEVELS_5 = Alphabet.levels(("VeryLow", "Low", "Medium", "High", "VeryHigh"))
+
+
+@dataclass
+class Dataset:
+    """A simulated dataset ready for mining.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``RE``, ``SC``, ``INF``, ``HFM``, or a scaled
+        variant name).
+    dsyb:
+        The symbolic database at the fine granularity.
+    ratio:
+        The sequence-mapping ratio building DSEQ (fine granules per
+        sequence).
+    dist_interval:
+        The paper's per-dataset season distance interval (Table VI),
+        expressed in DSEQ granules.
+    raw:
+        The raw signals (kept for the scaling generators).
+    description:
+        Provenance note (what real-world extract this simulates).
+    sequence_unit:
+        Calendar unit of one DSEQ granule (``"day"`` or ``"week"``), used
+        by the Table VIII style seasonal-occurrence attribution.
+    """
+
+    name: str
+    dsyb: SymbolicDatabase
+    ratio: int
+    dist_interval: tuple[int, int]
+    raw: dict[str, np.ndarray] = field(default_factory=dict)
+    description: str = ""
+    sequence_unit: str = "day"
+    _dseq: TemporalSequenceDatabase | None = field(default=None, repr=False)
+
+    @property
+    def n_series(self) -> int:
+        """Number of time series."""
+        return len(self.dsyb)
+
+    @property
+    def n_sequences(self) -> int:
+        """Number of temporal sequences (DSEQ granules)."""
+        return self.dsyb.n_instants // self.ratio
+
+    @property
+    def n_events(self) -> int:
+        """Number of distinct events actually occurring."""
+        return len(self.dseq().events())
+
+    def dseq(self) -> TemporalSequenceDatabase:
+        """The temporal sequence database (built once, cached)."""
+        if self._dseq is None:
+            self._dseq = build_sequence_database(self.dsyb, self.ratio)
+        return self._dseq
+
+    def params(
+        self,
+        max_period_pct: float = 0.4,
+        min_density_pct: float = 0.5,
+        min_season: int = 4,
+        max_pattern_length: int = 3,
+    ) -> MiningParams:
+        """Table VI style parameters resolved against this dataset."""
+        return MiningParams.from_percentages(
+            n_granules=self.n_sequences,
+            max_period_pct=max_period_pct,
+            min_density_pct=min_density_pct,
+            dist_interval=self.dist_interval,
+            min_season=min_season,
+            max_pattern_length=max_pattern_length,
+        )
+
+    def summary(self) -> dict[str, int]:
+        """The Table V row of this dataset."""
+        dseq = self.dseq()
+        n_sequences = len(dseq)
+        return {
+            "n_sequences": n_sequences,
+            "n_time_series": self.n_series,
+            "n_events": len(dseq.events()),
+            "instances_per_sequence": round(dseq.total_instances() / n_sequences),
+        }
+
+
+def symbolize(
+    name: str,
+    raw: dict[str, np.ndarray],
+    levels: dict[str, Alphabet],
+    ratio: int,
+    dist_interval: tuple[int, int],
+    description: str,
+    sequence_unit: str = "day",
+) -> Dataset:
+    """Quantile-symbolize raw signals into a :class:`Dataset`.
+
+    ``levels`` maps each series name to its alphabet; missing names get
+    the 3-level default.
+    """
+    if not raw:
+        raise DatasetError(f"dataset {name!r} has no raw series")
+    database = SymbolicDatabase()
+    for series_name, values in raw.items():
+        alphabet = levels.get(series_name, LEVELS_3)
+        mapper = QuantileMapper(alphabet)
+        database.add(mapper.encode(TimeSeries.from_array(series_name, values)))
+    return Dataset(
+        name=name,
+        dsyb=database,
+        ratio=ratio,
+        dist_interval=dist_interval,
+        raw=raw,
+        description=description,
+        sequence_unit=sequence_unit,
+    )

@@ -1,0 +1,274 @@
+"""The INF and HFM (health) dataset simulators.
+
+Simulate the paper's Kawasaki surveillance extracts [5] combined with
+weather [6]: weekly temporal sequences of disease counts and weather, with
+the couplings of Table VIII --
+
+* P4/P5 (INF): cold, humid, windy, rainy winters -> influenza peaks
+  (Jan-Feb);
+* P6/P7 (HFM): hot, dry early summers -> hand-foot-mouth peaks (May-Jun).
+
+Fine granularity is daily; each DSEQ sequence is one week (ratio 7).  The
+default sizes match Table V (INF: 608 sequences x 25 series; HFM: 730 x
+24).  Disease series get 5-level alphabets so "Very High Influenza Cases"
+style events exist.  A secondary half-year epidemic wave (26 weeks) rides
+on the yearly outbreak, which is what lets disease patterns accumulate
+15-20 seasons over 12+ years (Tables X/XIV).
+
+Series fall into three roles (see DESIGN.md):
+
+* measured drivers (weather, case counts) -- seasonal signal + noise;
+* duplicate families -- monotone transforms of a measured series (strain
+  breakdowns, visit counts, min/max temperatures); these high-NMI pairs
+  are what A-STPM's MI screening retains;
+* aperiodic series (pressure, sunshine, admin signals) -- slow random
+  walks that A-STPM prunes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import LEVELS_5, Dataset, symbolize
+from repro.datasets.synthetic import (
+    clipped,
+    lagged_response,
+    noisy,
+    random_walk,
+    seasonal_pulses,
+    yearly_sinusoid,
+)
+from repro.exceptions import DatasetError
+
+DAYS_PER_WEEK = 7
+DAYS_PER_YEAR = 365
+#: Epidemic wave cycle (~26 weeks): the secondary half-year wave.
+WAVE_CYCLE_DAYS = 26 * DAYS_PER_WEEK
+
+#: All 25 series of the INF profile (prefix order mixes families with
+#: prunable series, as for the other datasets).
+INF_SERIES = (
+    "InfluenzaCases", "InfluenzaA", "Temperature", "TemperatureMin",
+    "Humidity", "DewPoint", "Pressure", "Sunshine",
+    "ILIVisits", "CasesChildren", "WindSpeed", "Precipitation", "RainDays",
+    "TemperatureMax", "InfluenzaB", "Hospitalizations", "SchoolAbsences",
+    "PharmacySales", "EmergencyCalls", "PositivityRate", "SentinelReports",
+    "VaccinationRate", "SearchTrends", "CasesAdults", "CasesElderly",
+)
+
+#: All 24 series of the HFM profile.
+HFM_SERIES = (
+    "HFMCases", "HFMCasesNursery", "Temperature", "TemperatureMin",
+    "Humidity", "DewPoint", "Pressure", "Sunshine",
+    "PediatricVisits", "CasesUnder2", "WindSpeed", "Precipitation",
+    "RainDays", "TemperatureMax", "HFMCasesKindergarten", "HerpanginaCases",
+    "DaycareAbsences", "RashConsultations", "Cases2to5", "CasesOver5",
+    "OutbreakReports", "HelplineCalls", "ClinicAlerts", "SurveillanceIndex",
+)
+
+
+def _weather(
+    n: int, rng: np.random.Generator, noise: float
+) -> dict[str, np.ndarray]:
+    """Shared measured weather drivers + their families + prunables."""
+    year = DAYS_PER_YEAR
+
+    def with_noise(values: np.ndarray, factor: float = noise) -> np.ndarray:
+        return noisy(rng, values, factor * max(values.std(), 1e-9))
+
+    temperature = with_noise(
+        yearly_sinusoid(n, year, phase_frac=0.55, amplitude=11.0, base=15.0)
+    )
+    humidity = with_noise(
+        yearly_sinusoid(n, year, phase_frac=0.6, amplitude=0.15, base=0.65)
+    )
+    wind = with_noise(
+        yearly_sinusoid(n, year, phase_frac=0.05, amplitude=2.5, base=5.0)
+        + seasonal_pulses(n, WAVE_CYCLE_DAYS, center_frac=0.4, width_frac=0.08, height=4.0)
+    )
+    precipitation = with_noise(
+        clipped(
+            seasonal_pulses(n, WAVE_CYCLE_DAYS, center_frac=0.45, width_frac=0.09, height=6.0)
+            - 0.8
+        )
+    )
+    return {
+        "Temperature": temperature,
+        "TemperatureMin": lagged_response(temperature, lag=0, gain=1.0, bias=-5.0),
+        "TemperatureMax": lagged_response(temperature, lag=0, gain=1.0, bias=5.0),
+        "Humidity": humidity,
+        "DewPoint": lagged_response(humidity, lag=0, gain=20.0, bias=-10.0),
+        "WindSpeed": wind,
+        "Precipitation": precipitation,
+        "RainDays": lagged_response(precipitation, lag=0, gain=0.6, bias=0.1),
+        "Pressure": random_walk(rng, n, scale=0.05),
+        "Sunshine": random_walk(rng, n, scale=0.02),
+    }
+
+
+def _epidemic(
+    n: int,
+    center_frac: float,
+    width_frac: float,
+    height: float,
+    wave_center: float,
+    wave_height: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A yearly outbreak plus a half-year wave, with yearly intensity
+    variation."""
+    base = seasonal_pulses(n, DAYS_PER_YEAR, center_frac, width_frac, height)
+    n_years = n // DAYS_PER_YEAR + 2
+    intensity = np.repeat(rng.uniform(0.7, 1.3, size=n_years), DAYS_PER_YEAR)[:n]
+    wave = seasonal_pulses(
+        n, WAVE_CYCLE_DAYS, center_frac=wave_center, width_frac=0.08, height=wave_height
+    )
+    return base * intensity + wave
+
+
+def build_inf(
+    n_sequences: int = 608,
+    n_series: int = 25,
+    seed: int = 13,
+    noise: float = 0.2,
+) -> Dataset:
+    """Build the INF dataset (weekly sequences; default 608 x 25)."""
+    if not 1 <= n_series <= len(INF_SERIES):
+        raise DatasetError(f"n_series must be in [1, {len(INF_SERIES)}], got {n_series}")
+    if n_sequences < 4:
+        raise DatasetError(f"n_sequences must be >= 4, got {n_sequences}")
+    rng = np.random.default_rng(seed)
+    n = n_sequences * DAYS_PER_WEEK
+    signals = _weather(n, rng, noise)
+
+    def with_noise(values: np.ndarray, factor: float = noise) -> np.ndarray:
+        return noisy(rng, values, factor * max(values.std(), 1e-9))
+
+    # Influenza peaks mid-winter, driven by cold + humid conditions ~1-2
+    # weeks earlier, with the half-year wave on top.
+    outbreak = _epidemic(
+        n, center_frac=0.08, width_frac=0.05, height=100.0,
+        wave_center=0.5, wave_height=45.0, rng=rng,
+    )
+    driver = clipped(
+        lagged_response(-signals["Temperature"], lag=12, gain=1.2, bias=18.0)
+    ) * clipped(lagged_response(signals["Humidity"], lag=12, gain=1.0))
+    cases = with_noise(clipped(outbreak + 2.0 * driver), factor=noise * 0.5)
+
+    signals.update(
+        {
+            "InfluenzaCases": cases,
+            # Duplicate family: strain/visit breakdowns of the same counts.
+            "InfluenzaA": lagged_response(cases, lag=0, gain=0.65),
+            "ILIVisits": lagged_response(cases, lag=0, gain=1.8, bias=20.0),
+            "CasesChildren": lagged_response(cases, lag=0, gain=0.5),
+            # Lagged / noisy surveillance channels (moderate NMI).
+            "InfluenzaB": with_noise(clipped(lagged_response(cases, lag=5, gain=0.3))),
+            "Hospitalizations": with_noise(clipped(lagged_response(cases, lag=4, gain=0.12))),
+            "SchoolAbsences": with_noise(clipped(lagged_response(cases, lag=3, gain=0.5, bias=5.0))),
+            "PharmacySales": with_noise(clipped(lagged_response(cases, lag=1, gain=0.9, bias=30.0))),
+            "EmergencyCalls": with_noise(clipped(lagged_response(cases, lag=2, gain=0.2, bias=8.0))),
+            "PositivityRate": with_noise(clipped(lagged_response(cases, lag=1, gain=0.006, bias=0.05))),
+            "SentinelReports": with_noise(clipped(lagged_response(cases, lag=1, gain=0.08, bias=1.0))),
+            "SearchTrends": with_noise(clipped(lagged_response(cases, lag=2, gain=0.7, bias=4.0))),
+            "CasesAdults": with_noise(clipped(lagged_response(cases, lag=1, gain=0.35))),
+            "CasesElderly": with_noise(clipped(lagged_response(cases, lag=2, gain=0.15))),
+            # Administrative, aperiodic.
+            "VaccinationRate": random_walk(rng, n, scale=0.01),
+        }
+    )
+    raw = {name: signals[name] for name in INF_SERIES[:n_series]}
+    levels = {
+        name: LEVELS_5
+        for name in (
+            "InfluenzaCases", "InfluenzaA", "ILIVisits", "CasesChildren",
+            "Temperature", "TemperatureMin", "TemperatureMax",
+        )
+        if name in raw
+    }
+    return symbolize(
+        name="INF",
+        raw=raw,
+        levels=levels,
+        ratio=DAYS_PER_WEEK,
+        dist_interval=(10, 50),
+        sequence_unit="week",
+        description=(
+            "Simulated Kawasaki influenza surveillance + weather extract: "
+            "weekly sequences, winter outbreak + half-year wave seasonality"
+        ),
+    )
+
+
+def build_hfm(
+    n_sequences: int = 730,
+    n_series: int = 24,
+    seed: int = 17,
+    noise: float = 0.2,
+) -> Dataset:
+    """Build the HFM dataset (weekly sequences; default 730 x 24)."""
+    if not 1 <= n_series <= len(HFM_SERIES):
+        raise DatasetError(f"n_series must be in [1, {len(HFM_SERIES)}], got {n_series}")
+    if n_sequences < 4:
+        raise DatasetError(f"n_sequences must be >= 4, got {n_sequences}")
+    rng = np.random.default_rng(seed)
+    n = n_sequences * DAYS_PER_WEEK
+    signals = _weather(n, rng, noise)
+
+    def with_noise(values: np.ndarray, factor: float = noise) -> np.ndarray:
+        return noisy(rng, values, factor * max(values.std(), 1e-9))
+
+    # HFM peaks late spring / early summer, driven by warm dry conditions
+    # a week or two earlier, with the half-year wave on top.
+    outbreak = _epidemic(
+        n, center_frac=0.42, width_frac=0.05, height=80.0,
+        wave_center=0.2, wave_height=35.0, rng=rng,
+    )
+    driver = clipped(
+        lagged_response(signals["Temperature"], lag=10, gain=0.9, bias=-8.0)
+    ) * clipped(lagged_response(-signals["Humidity"], lag=10, gain=1.0, bias=0.75))
+    cases = with_noise(clipped(outbreak + 2.0 * driver), factor=noise * 0.5)
+
+    signals.update(
+        {
+            "HFMCases": cases,
+            # Duplicate family.
+            "HFMCasesNursery": lagged_response(cases, lag=0, gain=0.5),
+            "PediatricVisits": lagged_response(cases, lag=0, gain=1.5, bias=25.0),
+            "CasesUnder2": lagged_response(cases, lag=0, gain=0.45),
+            # Lagged / noisy channels.
+            "HFMCasesKindergarten": with_noise(clipped(lagged_response(cases, lag=1, gain=0.3))),
+            "HerpanginaCases": with_noise(clipped(lagged_response(cases, lag=6, gain=0.4))),
+            "DaycareAbsences": with_noise(clipped(lagged_response(cases, lag=3, gain=0.6, bias=4.0))),
+            "RashConsultations": with_noise(clipped(lagged_response(cases, lag=2, gain=0.35, bias=3.0))),
+            "Cases2to5": with_noise(clipped(lagged_response(cases, lag=0, gain=0.4))),
+            "CasesOver5": with_noise(clipped(lagged_response(cases, lag=1, gain=0.15))),
+            "HelplineCalls": with_noise(clipped(lagged_response(cases, lag=1, gain=0.25, bias=5.0))),
+            "OutbreakReports": with_noise(clipped(lagged_response(cases, lag=4, gain=0.05))),
+            # Administrative, aperiodic.
+            "ClinicAlerts": random_walk(rng, n, scale=0.02),
+            "SurveillanceIndex": random_walk(rng, n, scale=0.01),
+        }
+    )
+    raw = {name: signals[name] for name in HFM_SERIES[:n_series]}
+    levels = {
+        name: LEVELS_5
+        for name in (
+            "HFMCases", "HFMCasesNursery", "PediatricVisits", "CasesUnder2",
+            "Temperature", "TemperatureMin", "TemperatureMax",
+        )
+        if name in raw
+    }
+    return symbolize(
+        name="HFM",
+        raw=raw,
+        levels=levels,
+        ratio=DAYS_PER_WEEK,
+        dist_interval=(10, 50),
+        sequence_unit="week",
+        description=(
+            "Simulated Kawasaki hand-foot-mouth surveillance + weather "
+            "extract: weekly sequences, early-summer outbreak + half-year "
+            "wave seasonality"
+        ),
+    )

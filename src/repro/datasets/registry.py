@@ -1,0 +1,50 @@
+"""Dataset registry: load any dataset by name and profile.
+
+Profiles scale the paper's full dataset shapes down to laptop budgets:
+
+* ``full``  -- Table V shapes (RE 1460x21, SC 1249x14, INF 608x25,
+  HFM 730x24);
+* ``bench`` -- reduced shapes for the benchmark harness (every bench
+  finishes in seconds);
+* ``tiny``  -- minimal shapes for unit/integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.energy import build_re
+from repro.datasets.health import build_hfm, build_inf
+from repro.datasets.traffic import build_sc
+from repro.exceptions import DatasetError
+
+DATASET_BUILDERS: dict[str, Callable[..., Dataset]] = {
+    "RE": build_re,
+    "SC": build_sc,
+    "INF": build_inf,
+    "HFM": build_hfm,
+}
+
+#: (n_sequences, n_series) per dataset and profile.
+PROFILES: dict[str, dict[str, tuple[int, int]]] = {
+    "full": {"RE": (1460, 21), "SC": (1249, 14), "INF": (608, 25), "HFM": (730, 24)},
+    "bench": {"RE": (400, 8), "SC": (360, 8), "INF": (300, 8), "HFM": (300, 8)},
+    "tiny": {"RE": (120, 5), "SC": (120, 5), "INF": (104, 6), "HFM": (104, 6)},
+}
+
+
+def load_dataset(name: str, profile: str = "bench", seed: int | None = None) -> Dataset:
+    """Load a dataset by name (``RE``/``SC``/``INF``/``HFM``) and profile."""
+    key = name.upper()
+    if key not in DATASET_BUILDERS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_BUILDERS)}"
+        )
+    if profile not in PROFILES:
+        raise DatasetError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
+    n_sequences, n_series = PROFILES[profile][key]
+    kwargs: dict = {"n_sequences": n_sequences, "n_series": n_series}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return DATASET_BUILDERS[key](**kwargs)

@@ -1,0 +1,100 @@
+"""Signal building blocks for the dataset simulators.
+
+All generators are pure functions of a :class:`numpy.random.Generator`, so
+datasets are fully reproducible from their seed.  Time axes are in *fine
+granules* (the instants of granularity G); seasonal structure is expressed
+through a ``period`` in fine granules (e.g. one year).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+
+def yearly_sinusoid(
+    n: int, period: int, phase_frac: float = 0.0, amplitude: float = 1.0, base: float = 0.0
+) -> np.ndarray:
+    """A sinusoid peaking at ``phase_frac`` of each period.
+
+    ``phase_frac = 0.5`` peaks mid-period (e.g. summer when the period
+    starts in January).
+    """
+    if period < 1:
+        raise DatasetError(f"period must be >= 1, got {period}")
+    t = np.arange(n)
+    return base + amplitude * np.cos(2.0 * np.pi * (t / period - phase_frac))
+
+
+def daily_cycle(n: int, samples_per_day: int, amplitude: float = 1.0) -> np.ndarray:
+    """A within-day cycle peaking at midday."""
+    if samples_per_day < 1:
+        raise DatasetError(f"samples_per_day must be >= 1, got {samples_per_day}")
+    t = np.arange(n)
+    return amplitude * np.maximum(
+        0.0, np.sin(np.pi * ((t % samples_per_day) / samples_per_day))
+    )
+
+
+def seasonal_pulses(
+    n: int,
+    period: int,
+    center_frac: float,
+    width_frac: float,
+    height: float = 1.0,
+) -> np.ndarray:
+    """Gaussian bumps recurring once per period (outbreaks, rainy seasons).
+
+    ``center_frac`` places the bump inside the period; ``width_frac`` is
+    the bump's standard deviation as a fraction of the period.
+    """
+    if not 0.0 < width_frac < 1.0:
+        raise DatasetError(f"width_frac must be in (0, 1), got {width_frac}")
+    t = np.arange(n)
+    # Circular distance to the pulse center, in period fractions.
+    position = (t / period - center_frac) % 1.0
+    distance = np.minimum(position, 1.0 - position)
+    return height * np.exp(-0.5 * (distance / width_frac) ** 2)
+
+
+def lagged_response(
+    signal: np.ndarray, lag: int, gain: float = 1.0, bias: float = 0.0
+) -> np.ndarray:
+    """``y[t] = gain * x[t - lag] + bias`` with edge padding."""
+    if lag < 0:
+        raise DatasetError(f"lag must be >= 0, got {lag}")
+    if lag == 0:
+        return gain * signal + bias
+    shifted = np.concatenate([np.full(lag, signal[0]), signal[:-lag]])
+    return gain * shifted + bias
+
+
+def noisy(rng: np.random.Generator, signal: np.ndarray, scale: float) -> np.ndarray:
+    """Add white Gaussian noise."""
+    if scale < 0:
+        raise DatasetError(f"noise scale must be >= 0, got {scale}")
+    if scale == 0:
+        return signal.copy()
+    return signal + rng.normal(0.0, scale, size=signal.shape)
+
+
+def clipped(signal: np.ndarray, low: float = 0.0, high: float | None = None) -> np.ndarray:
+    """Clamp a signal to a physical range (e.g. non-negative power)."""
+    return np.clip(signal, low, high)
+
+
+def random_walk(rng: np.random.Generator, n: int, scale: float = 1.0) -> np.ndarray:
+    """A zero-mean random walk (slow-moving background trends)."""
+    return np.cumsum(rng.normal(0.0, scale, size=n))
+
+
+def mix(*components: np.ndarray) -> np.ndarray:
+    """Sum signal components (validates equal lengths)."""
+    if not components:
+        raise DatasetError("mix needs at least one component")
+    length = len(components[0])
+    for component in components[1:]:
+        if len(component) != length:
+            raise DatasetError("mix components must have equal lengths")
+    return np.sum(components, axis=0)

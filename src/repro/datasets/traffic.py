@@ -1,0 +1,150 @@
+"""The SC (smart city) dataset simulator.
+
+Simulates the paper's New York City traffic + weather extract [48]: daily
+temporal sequences with the congestion couplings of Table VIII --
+
+* P8:  hot windy days -> high congestion (Jul-Aug);
+* P9:  strong wind + unclear visibility -> high congestion;
+* P10: heavy rain + unclear visibility -> high lane-blocked events;
+* P11: heavy rain + strong wind -> high flow-incident counts.
+
+Fine granularity is 3-hourly (8 samples/day), one DSEQ sequence per day.
+Storm fronts recur on a ~73-day cycle, which is what gives traffic/weather
+patterns many seasons (the paper's Table XIII counts).  Response series
+(gusts, incidents, speeds) are monotone transforms of the measured
+drivers -- the high-NMI families A-STPM retains -- while visibility,
+humidity and snowfall are slow aperiodic walks that A-STPM prunes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import LEVELS_5, Dataset, symbolize
+from repro.datasets.synthetic import (
+    clipped,
+    daily_cycle,
+    lagged_response,
+    mix,
+    noisy,
+    random_walk,
+    seasonal_pulses,
+    yearly_sinusoid,
+)
+from repro.exceptions import DatasetError
+
+SAMPLES_PER_DAY = 8
+SAMPLES_PER_YEAR = 365 * SAMPLES_PER_DAY
+#: Storm-front cycle (~73 days): the sub-yearly weather regime.
+STORM_CYCLE_DAYS = 73
+
+#: All 14 series of the full profile.  Reduced profiles keep a prefix, so
+#: the prefix mixes correlated families with prunable aperiodic series.
+SC_SERIES = (
+    "Temperature", "HeatIndex", "WindSpeed", "WindGust",
+    "Precipitation", "LaneBlocked", "Visibility", "Humidity",
+    "TrafficFlow", "Congestion", "AvgSpeed", "FlowIncident",
+    "Accidents", "Snowfall",
+)
+
+
+def build_sc(
+    n_sequences: int = 1249,
+    n_series: int = 14,
+    seed: int = 11,
+    noise: float = 0.25,
+) -> Dataset:
+    """Build the SC dataset (defaults match Table V's 1249 x 14 shape)."""
+    if not 1 <= n_series <= len(SC_SERIES):
+        raise DatasetError(f"n_series must be in [1, {len(SC_SERIES)}], got {n_series}")
+    if n_sequences < 8:
+        raise DatasetError(f"n_sequences must be >= 8, got {n_sequences}")
+    rng = np.random.default_rng(seed)
+    n = n_sequences * SAMPLES_PER_DAY
+    year = SAMPLES_PER_YEAR
+    storm = STORM_CYCLE_DAYS * SAMPLES_PER_DAY
+
+    def with_noise(values: np.ndarray, factor: float = noise) -> np.ndarray:
+        return noisy(rng, values, factor * max(values.std(), 1e-9))
+
+    # --- measured weather drivers ----------------------------------------
+    temperature = with_noise(
+        mix(
+            yearly_sinusoid(n, year, phase_frac=0.55, amplitude=12.0, base=13.0),
+            daily_cycle(n, SAMPLES_PER_DAY, amplitude=5.0),
+        )
+    )
+    wind = with_noise(
+        mix(
+            yearly_sinusoid(n, year, phase_frac=0.55, amplitude=2.0, base=5.0),
+            seasonal_pulses(n, storm, center_frac=0.5, width_frac=0.08, height=6.0),
+        )
+    )
+    precipitation = with_noise(
+        clipped(
+            seasonal_pulses(n, storm, center_frac=0.55, width_frac=0.07, height=7.0)
+            + seasonal_pulses(n, year, center_frac=0.02, width_frac=0.05, height=3.0)
+            - 0.8
+        )
+    )
+    traffic_flow = with_noise(
+        mix(
+            daily_cycle(n, SAMPLES_PER_DAY, amplitude=600.0),
+            yearly_sinusoid(n, year, phase_frac=0.5, amplitude=120.0, base=1500.0),
+            seasonal_pulses(n, storm, center_frac=0.5, width_frac=0.08, height=-250.0),
+        ),
+        factor=noise * 0.4,
+    )
+
+    # --- duplicate-family responses (monotone transforms, kept by MI) ----
+    heat_index = lagged_response(temperature, lag=0, gain=1.1, bias=2.0)
+    wind_gust = lagged_response(wind, lag=0, gain=1.5, bias=2.0)
+    lane_blocked = lagged_response(precipitation, lag=0, gain=1.1, bias=0.5)
+    flow_incident = lagged_response(precipitation, lag=0, gain=0.9, bias=0.2)
+    congestion = lagged_response(traffic_flow, lag=0, gain=0.02, bias=-12.0)
+    avg_speed = lagged_response(congestion, lag=0, gain=-0.7, bias=55.0)
+
+    # --- weakly informative series (pruned by A-STPM) --------------------
+    visibility = random_walk(rng, n, scale=0.02)
+    humidity = random_walk(rng, n, scale=0.015)
+    snowfall = random_walk(rng, n, scale=0.03)
+    accidents = with_noise(
+        clipped(
+            lagged_response(precipitation, lag=SAMPLES_PER_DAY, gain=0.8)
+            + 0.0001 * traffic_flow
+        )
+    )
+
+    signals = {
+        "Temperature": temperature,
+        "HeatIndex": heat_index,
+        "WindSpeed": wind,
+        "WindGust": wind_gust,
+        "Precipitation": precipitation,
+        "LaneBlocked": lane_blocked,
+        "Visibility": visibility,
+        "Humidity": humidity,
+        "TrafficFlow": traffic_flow,
+        "Congestion": congestion,
+        "AvgSpeed": avg_speed,
+        "FlowIncident": flow_incident,
+        "Accidents": accidents,
+        "Snowfall": snowfall,
+    }
+    raw = {name: signals[name] for name in SC_SERIES[:n_series]}
+    levels = {
+        name: LEVELS_5
+        for name in ("Temperature", "HeatIndex", "TrafficFlow", "Congestion")
+        if name in raw
+    }
+    return symbolize(
+        name="SC",
+        raw=raw,
+        levels=levels,
+        ratio=SAMPLES_PER_DAY,
+        dist_interval=(30, 330),
+        description=(
+            "Simulated NYC traffic + weather extract: daily sequences, "
+            "storm-cycle + summer congestion / winter snow seasonality"
+        ),
+    )

@@ -1,0 +1,35 @@
+"""Temporal events, instances and relations (paper Sec. III-C).
+
+* :class:`~repro.events.event.EventInstance` -- one occurrence
+  ``(event, [ts, te])`` of a temporal event.
+* :class:`~repro.events.event.TemporalEvent` -- an event ``(omega, T)``
+  with its full set of occurrence intervals.
+* :mod:`repro.events.relations` -- the Follows / Contains / Overlaps
+  relations of Table III with tolerance buffer epsilon and minimal overlap
+  duration ``do``, mutually exclusive per the paper's Property 1.
+* :class:`~repro.events.sequence.TemporalSequence` -- the ordered list of
+  event instances inside one coarse granule (paper Def. 3.10).
+"""
+
+from repro.events.event import EventInstance, TemporalEvent
+from repro.events.relations import (
+    CONTAINS,
+    FOLLOWS,
+    OVERLAPS,
+    RELATIONS,
+    RelationConfig,
+    relation_between,
+)
+from repro.events.sequence import TemporalSequence
+
+__all__ = [
+    "EventInstance",
+    "TemporalEvent",
+    "TemporalSequence",
+    "RelationConfig",
+    "relation_between",
+    "FOLLOWS",
+    "CONTAINS",
+    "OVERLAPS",
+    "RELATIONS",
+]

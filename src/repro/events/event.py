@@ -1,0 +1,103 @@
+"""Temporal events and event instances (paper Def. 3.7).
+
+A *temporal event* ``E = (omega, T)`` pairs a symbol of one series with the
+set of time intervals during which the series holds that symbol.  An *event
+instance* ``e = (omega, [ts, te])`` is a single occurrence.  Event identity
+is the string key ``series:symbol`` (e.g. ``"C:1"``), matching the paper's
+notation.
+
+Intervals are inclusive granule-index pairs at the fine granularity G.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.exceptions import ReproError
+
+
+class EventInstance(NamedTuple):
+    """A single occurrence of an event over the inclusive interval [start, end].
+
+    ``event`` is the ``series:symbol`` key; ``start``/``end`` are 1-based
+    fine-granule positions (the paper's ``[G1, G2]`` style intervals).
+    """
+
+    event: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        """Number of fine granules covered (inclusive interval)."""
+        return self.end - self.start + 1
+
+    def sort_key(self) -> tuple[int, int, str]:
+        """Chronological ordering: by start, longer-first on ties, then key.
+
+        Longer-first on equal starts puts a containing instance before the
+        contained one, which is the orientation Table III's Contains uses.
+        """
+        return (self.start, -self.end, self.event)
+
+    def describe(self) -> str:
+        """Paper-style rendering, e.g. ``(C:1,[G1,G2])``."""
+        return f"({self.event},[G{self.start},G{self.end}])"
+
+
+@dataclass(frozen=True)
+class TemporalEvent:
+    """An event ``(omega, T)``: a symbol with all its occurrence intervals."""
+
+    event: str
+    intervals: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        previous_end = None
+        for start, end in self.intervals:
+            if start > end:
+                raise ReproError(f"bad interval [{start},{end}] in event {self.event}")
+            if previous_end is not None and start <= previous_end:
+                raise ReproError(
+                    f"intervals of event {self.event} must be disjoint and ordered"
+                )
+            previous_end = end
+
+    @property
+    def series(self) -> str:
+        """The series name part of the event key."""
+        return self.event.rsplit(":", 1)[0]
+
+    @property
+    def symbol(self) -> str:
+        """The symbol part of the event key."""
+        return self.event.rsplit(":", 1)[1]
+
+    def instances(self) -> list[EventInstance]:
+        """All instances of this event, in chronological order."""
+        return [EventInstance(self.event, s, e) for s, e in self.intervals]
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+
+def extract_event(series_name: str, symbols: tuple[str, ...] | list[str], symbol: str) -> TemporalEvent:
+    """Build the temporal event of ``symbol`` in a symbolic sequence.
+
+    Groups maximal runs of ``symbol`` into intervals; positions are 1-based.
+    This is the per-symbol view of the paper's running example, e.g.
+    ``E = (C:1, {[G1,G2],[G4,G4],...})``.
+    """
+    intervals: list[tuple[int, int]] = []
+    run_start: int | None = None
+    for index, current in enumerate(symbols, start=1):
+        if current == symbol:
+            if run_start is None:
+                run_start = index
+        elif run_start is not None:
+            intervals.append((run_start, index - 1))
+            run_start = None
+    if run_start is not None:
+        intervals.append((run_start, len(symbols)))
+    return TemporalEvent(f"{series_name}:{symbol}", tuple(intervals))

@@ -1,0 +1,58 @@
+"""Temporal sequences (paper Def. 3.10, Table IV rows).
+
+A temporal sequence is the chronologically ordered list of event instances
+inside one coarse granule ``Hi``.  One row of the temporal sequence
+database holds the sequences of *all* series for that granule; we merge
+them into a single instance list (sorted chronologically) plus a per-event
+index for fast lookup during mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events.event import EventInstance
+
+
+@dataclass
+class TemporalSequence:
+    """All event instances of one coarse granule, chronologically ordered.
+
+    ``position`` is the 1-based position of the granule in the coarse
+    granularity H.  ``instances`` are sorted by
+    :meth:`repro.events.event.EventInstance.sort_key`.
+    """
+
+    position: int
+    instances: list[EventInstance] = field(default_factory=list)
+    _by_event: dict[str, list[EventInstance]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def finalize(self) -> "TemporalSequence":
+        """Sort instances and build the per-event index.  Call once after
+        all instances are appended; returns self for chaining."""
+        self.instances.sort(key=EventInstance.sort_key)
+        by_event: dict[str, list[EventInstance]] = {}
+        for instance in self.instances:
+            by_event.setdefault(instance.event, []).append(instance)
+        self._by_event = by_event
+        return self
+
+    def events(self) -> list[str]:
+        """Distinct event keys occurring in this sequence."""
+        return list(self._by_event)
+
+    def instances_of(self, event: str) -> list[EventInstance]:
+        """Instances of one event in this sequence (may be empty)."""
+        return self._by_event.get(event, [])
+
+    def __contains__(self, event: str) -> bool:
+        return event in self._by_event
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def describe(self) -> str:
+        """Paper-style row rendering, e.g. ``(C:1,[G1,G2]), (C:0,[G3,G3])``."""
+        return ", ".join(instance.describe() for instance in self.instances)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+a single exception type at API boundaries while still being able to handle
+the specific failure modes individually.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class GranularityError(ReproError):
+    """Raised for invalid time-granularity constructions or conversions."""
+
+
+class SymbolizationError(ReproError):
+    """Raised when a raw series cannot be mapped to a symbolic series."""
+
+
+class TransformError(ReproError):
+    """Raised when building a temporal sequence database fails."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid mining parameter combinations."""
+
+
+class MiningError(ReproError):
+    """Raised when a mining run cannot proceed."""
+
+
+class DatasetError(ReproError):
+    """Raised by the dataset generators for invalid specifications."""

@@ -1,0 +1,25 @@
+"""Time-domain and time-granularity model (paper Defs. 3.1-3.4).
+
+The paper grounds everything in a *time domain* (an ordered set of time
+instants isomorphic to the natural numbers), partitions of the domain called
+*granularities*, and a *granularity hierarchy* relating finer and coarser
+granularities.  This subpackage provides those three abstractions:
+
+* :class:`~repro.granularity.domain.TimeDomain` -- the instant axis.
+* :class:`~repro.granularity.granularity.Granularity` -- an equal,
+  non-overlapping partition of the domain into granules, with position and
+  period arithmetic.
+* :class:`~repro.granularity.hierarchy.GranularityHierarchy` -- a chain of
+  granularities ordered by the m-Finer relation.
+"""
+
+from repro.granularity.domain import TimeDomain
+from repro.granularity.granularity import Granularity, Granule
+from repro.granularity.hierarchy import GranularityHierarchy
+
+__all__ = [
+    "TimeDomain",
+    "Granularity",
+    "Granule",
+    "GranularityHierarchy",
+]

@@ -1,0 +1,59 @@
+"""Time domain (paper Def. 3.1).
+
+A time domain is an ordered set of time instants isomorphic to the natural
+numbers, carrying a *time unit* that states how instants are measured
+(e.g. ``"minute"``).  Instants are represented by their integer index
+``0, 1, 2, ...``; the mapping to wall-clock timestamps is
+``origin + index * unit`` and is kept purely descriptive here -- all mining
+arithmetic happens on indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GranularityError
+
+
+@dataclass(frozen=True)
+class TimeDomain:
+    """An ordered, integer-indexed set of time instants.
+
+    Parameters
+    ----------
+    n_instants:
+        Number of instants in the observation window (must be positive).
+    unit:
+        Human-readable time unit of one instant, e.g. ``"5min"`` or
+        ``"day"``.  Only used for labelling.
+    origin:
+        Free-form description of instant 0 (e.g. an ISO timestamp).
+    """
+
+    n_instants: int
+    unit: str = "instant"
+    origin: str = "t0"
+
+    def __post_init__(self) -> None:
+        if self.n_instants <= 0:
+            raise GranularityError(
+                f"a time domain needs at least one instant, got {self.n_instants}"
+            )
+
+    def __len__(self) -> int:
+        return self.n_instants
+
+    def __contains__(self, instant: int) -> bool:
+        return 0 <= instant < self.n_instants
+
+    def instants(self) -> range:
+        """Return the instants as a ``range`` (cheap, no allocation)."""
+        return range(self.n_instants)
+
+    def label(self, instant: int) -> str:
+        """Human-readable label of ``instant`` for reports and examples."""
+        if instant not in self:
+            raise GranularityError(
+                f"instant {instant} outside domain of {self.n_instants} instants"
+            )
+        return f"{self.unit}[{instant}] since {self.origin}"

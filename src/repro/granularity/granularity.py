@@ -1,0 +1,131 @@
+"""Time granularity and granules (paper Def. 3.2).
+
+A granularity partitions a :class:`~repro.granularity.domain.TimeDomain`
+into equal, non-overlapping granules.  Granules are identified by their
+1-based *position* ``p(Gi)`` (the paper counts granules "before and up to,
+including, Gi"), and the *period* between two granules of the same
+granularity is ``|p(Gi) - p(Gj)|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GranularityError
+from repro.granularity.domain import TimeDomain
+
+
+@dataclass(frozen=True)
+class Granule:
+    """A single granule: a contiguous block of time instants.
+
+    ``position`` is 1-based per the paper; ``start``/``end`` are the
+    inclusive instant indices covered by the granule.
+    """
+
+    position: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.position < 1:
+            raise GranularityError(f"granule positions are 1-based, got {self.position}")
+        if self.start > self.end:
+            raise GranularityError(
+                f"granule start {self.start} must not exceed end {self.end}"
+            )
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def instants(self) -> range:
+        """All instant indices covered by this granule."""
+        return range(self.start, self.end + 1)
+
+
+@dataclass(frozen=True)
+class Granularity:
+    """A complete, non-overlapping, equal partition of a time domain.
+
+    Parameters
+    ----------
+    domain:
+        The underlying time domain.
+    instants_per_granule:
+        Width of one granule, in domain instants.  The domain length does
+        not need to be an exact multiple; a trailing partial granule is
+        dropped, matching how a sequence mapping consumes whole blocks of
+        ``m`` symbols only.
+    name:
+        Label used in reports (e.g. ``"15-Minutes"``).
+    """
+
+    domain: TimeDomain
+    instants_per_granule: int = 1
+    name: str = "G"
+
+    def __post_init__(self) -> None:
+        if self.instants_per_granule < 1:
+            raise GranularityError(
+                f"granule width must be >= 1 instant, got {self.instants_per_granule}"
+            )
+        if self.instants_per_granule > len(self.domain):
+            raise GranularityError(
+                f"granule width {self.instants_per_granule} exceeds the domain "
+                f"of {len(self.domain)} instants"
+            )
+
+    @property
+    def n_granules(self) -> int:
+        """Number of complete granules in the partition."""
+        return len(self.domain) // self.instants_per_granule
+
+    def __len__(self) -> int:
+        return self.n_granules
+
+    def granule(self, position: int) -> Granule:
+        """Return the granule at 1-based ``position``."""
+        if not 1 <= position <= self.n_granules:
+            raise GranularityError(
+                f"position {position} outside [1, {self.n_granules}] of {self.name}"
+            )
+        start = (position - 1) * self.instants_per_granule
+        return Granule(position, start, start + self.instants_per_granule - 1)
+
+    def granules(self) -> list[Granule]:
+        """All granules in position order."""
+        return [self.granule(p) for p in range(1, self.n_granules + 1)]
+
+    def position_of_instant(self, instant: int) -> int:
+        """1-based position of the granule containing ``instant``."""
+        if instant not in self.domain:
+            raise GranularityError(f"instant {instant} outside the time domain")
+        position = instant // self.instants_per_granule + 1
+        if position > self.n_granules:
+            raise GranularityError(
+                f"instant {instant} falls in the dropped trailing partial granule"
+            )
+        return position
+
+    def period(self, position_i: int, position_j: int) -> int:
+        """Period between two granules: ``|p(Gi) - p(Gj)|`` (paper Def. 3.2)."""
+        for position in (position_i, position_j):
+            if not 1 <= position <= self.n_granules:
+                raise GranularityError(
+                    f"position {position} outside [1, {self.n_granules}] of {self.name}"
+                )
+        return abs(position_i - position_j)
+
+    def is_finer_than(self, other: "Granularity") -> bool:
+        """True if ``self`` is m-Finer than ``other`` for some integer m >= 1."""
+        if self.domain != other.domain:
+            return False
+        return other.instants_per_granule % self.instants_per_granule == 0
+
+    def finer_ratio(self, other: "Granularity") -> int:
+        """The m of the m-Finer relation ``self ⊴m other`` (paper Def. 3.3)."""
+        if not self.is_finer_than(other):
+            raise GranularityError(
+                f"{self.name} is not finer than {other.name} on the same domain"
+            )
+        return other.instants_per_granule // self.instants_per_granule

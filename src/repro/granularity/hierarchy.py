@@ -1,0 +1,91 @@
+"""Time granularity hierarchy (paper Def. 3.4, Fig. 2).
+
+A hierarchy is a chain of granularities over one time domain, ordered from
+the finest (level 0) upwards, where every level is m-Finer than the next.
+The paper's Fig. 2 example is the chain 5-Minutes ⊴3 15-Minutes ⊴2
+30-Minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import GranularityError
+from repro.granularity.domain import TimeDomain
+from repro.granularity.granularity import Granularity
+
+
+@dataclass
+class GranularityHierarchy:
+    """An ordered chain of granularities over one time domain."""
+
+    domain: TimeDomain
+    levels: list[Granularity] = field(default_factory=list)
+
+    @classmethod
+    def from_widths(
+        cls,
+        domain: TimeDomain,
+        widths: list[int],
+        names: list[str] | None = None,
+    ) -> "GranularityHierarchy":
+        """Build a hierarchy from granule widths (finest first).
+
+        Each width must divide the next, e.g. ``[1, 3, 6]`` for the paper's
+        5-Minutes / 15-Minutes / 30-Minutes chain with a 5-minute instant.
+        """
+        if not widths:
+            raise GranularityError("a hierarchy needs at least one level")
+        if names is not None and len(names) != len(widths):
+            raise GranularityError("names and widths must have equal length")
+        hierarchy = cls(domain)
+        for index, width in enumerate(widths):
+            name = names[index] if names else f"L{index}"
+            hierarchy.add_level(Granularity(domain, width, name))
+        return hierarchy
+
+    def add_level(self, granularity: Granularity) -> None:
+        """Append a coarser level; it must be on the same domain and the
+        current top level must be finer than it."""
+        if granularity.domain != self.domain:
+            raise GranularityError("all hierarchy levels must share one time domain")
+        if self.levels and not self.levels[-1].is_finer_than(granularity):
+            raise GranularityError(
+                f"{self.levels[-1].name} is not finer than {granularity.name}; "
+                "levels must be added finest-first with dividing widths"
+            )
+        self.levels.append(granularity)
+
+    @property
+    def finest(self) -> Granularity:
+        """The finest granularity (level 0)."""
+        if not self.levels:
+            raise GranularityError("empty hierarchy has no finest level")
+        return self.levels[0]
+
+    def level(self, index: int) -> Granularity:
+        """Granularity at hierarchy level ``index`` (0 = finest)."""
+        if not 0 <= index < len(self.levels):
+            raise GranularityError(
+                f"level {index} outside [0, {len(self.levels) - 1}]"
+            )
+        return self.levels[index]
+
+    def by_name(self, name: str) -> Granularity:
+        """Look up a level by its name."""
+        for granularity in self.levels:
+            if granularity.name == name:
+                return granularity
+        raise GranularityError(f"no hierarchy level named {name!r}")
+
+    def ratio(self, finer_index: int, coarser_index: int) -> int:
+        """The m of ``levels[finer_index] ⊴m levels[coarser_index]``."""
+        finer = self.level(finer_index)
+        coarser = self.level(coarser_index)
+        return finer.finer_ratio(coarser)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __iter__(self):
+        return iter(self.levels)

@@ -1,0 +1,17 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment of the evaluation section has an entry in
+:mod:`repro.harness.experiments` (keyed by the paper's artifact id, e.g.
+``T9`` for Table IX or ``F7`` for Fig. 7).  Experiments return
+:class:`~repro.harness.tables.Table` or
+:class:`~repro.harness.figures.Figure` objects that render as ASCII; the
+benchmark suite under ``benchmarks/`` wraps them with pytest-benchmark,
+and the ``freqstpfts`` CLI runs them standalone.
+"""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.figures import Figure
+from repro.harness.runner import run_all
+from repro.harness.tables import Table
+
+__all__ = ["Table", "Figure", "EXPERIMENTS", "run_experiment", "run_all"]

@@ -1,0 +1,66 @@
+"""Calendar attribution of seasons (the paper's Table VIII last column).
+
+The paper reports *when* each qualitative pattern occurs ("December,
+January, February").  Given the calendar unit of a DSEQ granule (day or
+week) this module maps granule positions to months of an idealized
+365-day year and summarizes a pattern's seasons by their dominant months.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.seasonality import SeasonView
+from repro.exceptions import ReproError
+
+MONTH_NAMES = (
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+)
+
+#: Cumulative day-of-year at which each month starts (non-leap year).
+_MONTH_STARTS = (0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365)
+
+#: Days per DSEQ granule for the supported sequence units.
+DAYS_PER_UNIT = {"day": 1, "week": 7}
+
+
+def month_of_position(position: int, unit: str = "day", start_month: int = 1) -> int:
+    """Month index (1-12) of a 1-based granule position.
+
+    ``start_month`` says which month position 1 falls in (1 = January).
+    """
+    if unit not in DAYS_PER_UNIT:
+        raise ReproError(f"unknown sequence unit {unit!r}; use one of {sorted(DAYS_PER_UNIT)}")
+    if position < 1:
+        raise ReproError(f"granule positions are 1-based, got {position}")
+    if not 1 <= start_month <= 12:
+        raise ReproError(f"start_month must be in 1..12, got {start_month}")
+    day_of_year = (
+        _MONTH_STARTS[start_month - 1] + (position - 1) * DAYS_PER_UNIT[unit]
+    ) % 365
+    for month_index in range(12):
+        if day_of_year < _MONTH_STARTS[month_index + 1]:
+            return month_index + 1
+    return 12  # pragma: no cover - unreachable (day_of_year < 365)
+
+
+def season_months(
+    view: SeasonView, unit: str = "day", start_month: int = 1, top: int = 3
+) -> list[str]:
+    """Dominant months of a pattern's seasons, most frequent first."""
+    counts: Counter[int] = Counter()
+    for season in view.seasons:
+        for position in season:
+            counts[month_of_position(position, unit, start_month)] += 1
+    ranked = [month for month, _ in counts.most_common(top)]
+    ranked.sort()  # calendar order for readability
+    return [MONTH_NAMES[month - 1] for month in ranked]
+
+
+def describe_seasonal_occurrence(
+    view: SeasonView, unit: str = "day", start_month: int = 1
+) -> str:
+    """Table VIII style rendering, e.g. ``"December, January, February"``."""
+    months = season_months(view, unit, start_month)
+    return ", ".join(months) if months else "-"

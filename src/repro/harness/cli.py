@@ -1,0 +1,95 @@
+"""Command-line interface: ``freqstpfts``.
+
+Subcommands
+-----------
+``list``
+    List the available experiments and datasets.
+``run T9 F7 --profile bench``
+    Run specific experiments and print their tables/figures.
+``all --profile bench``
+    Run every experiment.
+``mine --dataset RE --min-season 6 ...``
+    One-off mining run printing the found seasonal patterns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.approximate import ASTPM
+from repro.core.stpm import ESTPM
+from repro.datasets.registry import DATASET_BUILDERS, PROFILES, load_dataset
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import run_all
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="freqstpfts",
+        description="Frequent Seasonal Temporal Pattern Mining from Time Series "
+        "(ICDE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and datasets")
+
+    run_parser = sub.add_parser("run", help="run specific experiments")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids, e.g. T9 F7")
+    run_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+
+    mine_parser = sub.add_parser("mine", help="one-off mining run")
+    mine_parser.add_argument("--dataset", default="RE", choices=sorted(DATASET_BUILDERS))
+    mine_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    mine_parser.add_argument("--min-season", type=int, default=6)
+    mine_parser.add_argument("--min-density-pct", type=float, default=0.75)
+    mine_parser.add_argument("--max-period-pct", type=float, default=0.4)
+    mine_parser.add_argument("--approximate", action="store_true", help="use A-STPM")
+    mine_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print("Experiments:")
+        for artifact_id in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[artifact_id].__doc__ or "").strip().splitlines()[0]
+            print(f"  {artifact_id:5s} {doc}")
+        print("\nDatasets:", ", ".join(sorted(DATASET_BUILDERS)))
+        print("Profiles:", ", ".join(sorted(PROFILES)))
+        return 0
+    if args.command == "run":
+        for artifact_id in args.ids:
+            print(run_experiment(artifact_id, profile=args.profile).render())
+            print()
+        return 0
+    if args.command == "all":
+        run_all(profile=args.profile)
+        return 0
+    if args.command == "mine":
+        dataset = load_dataset(args.dataset, args.profile)
+        params = dataset.params(
+            max_period_pct=args.max_period_pct,
+            min_density_pct=args.min_density_pct,
+            min_season=args.min_season,
+        )
+        if args.approximate:
+            result = ASTPM(dataset.dsyb, dataset.ratio, params, dseq=dataset.dseq()).mine()
+        else:
+            result = ESTPM(dataset.dseq(), params).mine()
+        print(
+            f"{len(result)} frequent seasonal patterns on {args.dataset} "
+            f"({args.profile}) in {result.stats.mining_seconds:.2f}s"
+        )
+        print(result.describe(limit=args.limit))
+        return 0
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""ASCII figure rendering: one data series per miner/variant.
+
+The paper's figures plot runtime/memory against a swept threshold with one
+line per method.  We render the same data as a value table followed by
+normalized horizontal bars, which preserves the comparisons (who wins,
+ordering, trends) in plain text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_BAR_WIDTH = 40
+
+
+@dataclass
+class Figure:
+    """A titled multi-series plot over a shared x axis."""
+
+    title: str
+    x_label: str
+    x_values: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    y_label: str = "value"
+    notes: str = ""
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        """Attach one line of the figure (length must match x_values)."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(self.x_values)}"
+            )
+        self.series[name] = list(values)
+
+    def render(self) -> str:
+        """Value table + normalized bars per x position."""
+        lines = [self.title, "=" * len(self.title)]
+        name_width = max((len(n) for n in self.series), default=6)
+        x_width = max(
+            [len(str(x)) for x in self.x_values] + [len(self.x_label)]
+        )
+        header = str(self.x_label).ljust(x_width) + " | " + " | ".join(
+            name.rjust(10) for name in self.series
+        )
+        lines.append(f"{self.y_label}:")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for index, x in enumerate(self.x_values):
+            cells = " | ".join(
+                f"{values[index]:10.3f}" for values in self.series.values()
+            )
+            lines.append(f"{str(x).ljust(x_width)} | {cells}")
+        peak = max(
+            (v for values in self.series.values() for v in values), default=0.0
+        )
+        if peak > 0:
+            lines.append("")
+            for index, x in enumerate(self.x_values):
+                lines.append(f"{self.x_label} = {x}:")
+                for name, values in self.series.items():
+                    bar = "#" * max(1, round(_BAR_WIDTH * values[index] / peak))
+                    lines.append(f"  {name.ljust(name_width)} {bar} {values[index]:.3f}")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

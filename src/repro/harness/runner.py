@@ -1,0 +1,34 @@
+"""Run experiments in bulk and collect a report."""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Iterable, TextIO
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+
+def run_all(
+    artifact_ids: Iterable[str] | None = None,
+    profile: str = "bench",
+    stream: TextIO | None = None,
+) -> dict[str, str]:
+    """Run the requested experiments and return ``{id: rendered_output}``.
+
+    Outputs are streamed to ``stream`` (default stdout) as they complete so
+    long runs show progress.
+    """
+    stream = stream or sys.stdout
+    ids = list(artifact_ids) if artifact_ids is not None else sorted(EXPERIMENTS)
+    outputs: dict[str, str] = {}
+    for artifact_id in ids:
+        started = time.perf_counter()
+        result = run_experiment(artifact_id, profile=profile)
+        rendered = result.render()
+        elapsed = time.perf_counter() - started
+        outputs[artifact_id] = rendered
+        print(f"\n### {artifact_id} (completed in {elapsed:.1f}s)\n", file=stream)
+        print(rendered, file=stream)
+        stream.flush()
+    return outputs

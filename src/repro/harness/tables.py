@@ -1,0 +1,46 @@
+"""ASCII table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled table with aligned ASCII rendering."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        """Append one row; cells are stringified."""
+        self.rows.append([_format(cell) for cell in cells])
+
+    def render(self) -> str:
+        """Aligned, pipe-separated rendering with the title on top."""
+        columns = len(self.headers)
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index in range(min(columns, len(row))):
+                widths[index] = max(widths[index], len(row[index]))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            padded = row + [""] * (columns - len(row))
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(padded, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _format(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,11 @@
+"""Input/output helpers: CSV ingestion and JSON result serialization."""
+
+from repro.io.csv_data import load_csv_series, save_csv_series
+from repro.io.results_json import result_from_json, result_to_json
+
+__all__ = [
+    "load_csv_series",
+    "save_csv_series",
+    "result_to_json",
+    "result_from_json",
+]

@@ -1,0 +1,97 @@
+"""JSON serialization of mining results.
+
+Persists the full seasonal evidence (support set, near support sets,
+seasons) of every pattern, plus the run statistics, so results can be
+archived, diffed across runs, or post-processed outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.pattern import TemporalPattern, Triple
+from repro.core.results import MiningResult, MiningStats, SeasonalPattern
+from repro.core.seasonality import SeasonView
+from repro.exceptions import ReproError
+
+FORMAT_VERSION = 1
+
+
+def _pattern_to_dict(sp: SeasonalPattern) -> dict:
+    return {
+        "events": list(sp.pattern.events),
+        "triples": [list(triple) for triple in sp.pattern.triples],
+        "support": list(sp.seasons.support),
+        "near_sets": [list(near) for near in sp.seasons.near_sets],
+        "seasons": [list(season) for season in sp.seasons.seasons],
+    }
+
+
+def _pattern_from_dict(payload: dict) -> SeasonalPattern:
+    pattern = TemporalPattern(
+        tuple(payload["events"]),
+        tuple(Triple(*triple) for triple in payload["triples"]),
+    )
+    view = SeasonView(
+        support=tuple(payload["support"]),
+        near_sets=tuple(tuple(near) for near in payload["near_sets"]),
+        seasons=tuple(tuple(season) for season in payload["seasons"]),
+    )
+    return SeasonalPattern(pattern, view)
+
+
+def result_to_json(result: MiningResult, path: str | Path | None = None) -> str:
+    """Serialize a result; optionally also write it to ``path``."""
+    stats = result.stats
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "patterns": [_pattern_to_dict(sp) for sp in result.patterns],
+        "stats": {
+            "n_granules": stats.n_granules,
+            "n_events_scanned": stats.n_events_scanned,
+            "n_candidate_events": stats.n_candidate_events,
+            "n_series_pruned": stats.n_series_pruned,
+            "n_events_pruned": stats.n_events_pruned,
+            "mi_seconds": stats.mi_seconds,
+            "mining_seconds": stats.mining_seconds,
+            "n_frequent": {str(k): v for k, v in stats.n_frequent.items()},
+        },
+    }
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def result_from_json(source: str | Path) -> MiningResult:
+    """Rebuild a :class:`MiningResult` from a JSON string or file path."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith("{")
+    ):
+        text = Path(source).read_text()
+    else:
+        text = source
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid result JSON: {error}") from None
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    stats_payload = payload.get("stats", {})
+    stats = MiningStats(
+        n_granules=stats_payload.get("n_granules", 0),
+        n_events_scanned=stats_payload.get("n_events_scanned", 0),
+        n_candidate_events=stats_payload.get("n_candidate_events", 0),
+        n_series_pruned=stats_payload.get("n_series_pruned", 0),
+        n_events_pruned=stats_payload.get("n_events_pruned", 0),
+        mi_seconds=stats_payload.get("mi_seconds", 0.0),
+        mining_seconds=stats_payload.get("mining_seconds", 0.0),
+        n_frequent={int(k): v for k, v in stats_payload.get("n_frequent", {}).items()},
+    )
+    patterns = [_pattern_from_dict(entry) for entry in payload.get("patterns", [])]
+    return MiningResult(patterns=patterns, stats=stats)

@@ -1,0 +1,18 @@
+"""Measurement utilities for the experimental evaluation (paper Sec. VI).
+
+* :mod:`repro.metrics.timing` -- wall-clock runtime of a mining call.
+* :mod:`repro.metrics.memory` -- peak memory via :mod:`tracemalloc`.
+* :mod:`repro.metrics.accuracy` -- the A-STPM accuracy metric
+  (pattern-set recall against E-STPM).
+"""
+
+from repro.metrics.accuracy import accuracy_pct, pattern_set_overlap
+from repro.metrics.memory import measure_peak_memory
+from repro.metrics.timing import time_call
+
+__all__ = [
+    "time_call",
+    "measure_peak_memory",
+    "accuracy_pct",
+    "pattern_set_overlap",
+]

@@ -1,0 +1,25 @@
+"""The A-STPM accuracy metric (paper Sec. VI-C4, Tables VII/XII).
+
+A-STPM returns a subset of E-STPM's patterns (both apply identical
+seasonal checks; A-STPM merely mines fewer series), so accuracy is the
+recall of the approximate pattern set against the exact one, in percent.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import MiningResult
+
+
+def pattern_set_overlap(exact: MiningResult, approximate: MiningResult) -> tuple[int, int]:
+    """``(shared, total_exact)`` pattern identity counts."""
+    exact_keys = exact.pattern_keys()
+    return len(exact_keys & approximate.pattern_keys()), len(exact_keys)
+
+
+def accuracy_pct(exact: MiningResult, approximate: MiningResult) -> float:
+    """Accuracy of the approximate result in percent (100.0 if the exact
+    result is empty, since nothing was missed)."""
+    shared, total = pattern_set_overlap(exact, approximate)
+    if total == 0:
+        return 100.0
+    return 100.0 * shared / total

@@ -1,0 +1,34 @@
+"""Peak memory measurement via :mod:`tracemalloc`.
+
+The paper's Figs. 9-10 compare miner memory footprints.  We measure the
+peak *traced* Python allocation during a call -- a faithful relative
+measure across miners running identical inputs (absolute numbers differ
+from RSS, which the paper reports, but the comparison shape is preserved).
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def measure_peak_memory(fn: Callable[[], T]) -> tuple[T, int]:
+    """Run ``fn`` and return ``(result, peak_allocated_bytes)``.
+
+    Nested use is not supported (tracemalloc is process-global); the
+    helper raises if tracing is already active so measurements never
+    silently include someone else's allocations.
+    """
+    if tracemalloc.is_tracing():
+        raise RuntimeError("measure_peak_memory does not support nesting")
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak

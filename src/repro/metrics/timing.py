@@ -1,0 +1,15 @@
+"""Wall-clock timing of callables."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

@@ -1,0 +1,36 @@
+"""Symbolic representation of time series (paper Sec. III-B).
+
+Raw time series are encoded into symbolic series through a mapping function
+``f: X -> Sigma_X`` (paper Def. 3.5).  The subpackage provides:
+
+* :class:`~repro.symbolic.series.TimeSeries` and
+  :class:`~repro.symbolic.series.SymbolicSeries` -- the raw and encoded
+  series containers.
+* :class:`~repro.symbolic.alphabet.Alphabet` -- a finite symbol set.
+* Mapping functions in :mod:`repro.symbolic.mapping` (threshold and
+  quantile binning) and :mod:`repro.symbolic.sax` (SAX, Lin et al. [41]).
+* :class:`~repro.symbolic.database.SymbolicDatabase` -- the symbolic
+  database ``DSYB`` (paper Def. 3.6, Table II).
+"""
+
+from repro.symbolic.alphabet import Alphabet
+from repro.symbolic.database import SymbolicDatabase
+from repro.symbolic.mapping import (
+    QuantileMapper,
+    SymbolMapper,
+    ThresholdMapper,
+)
+from repro.symbolic.sax import SaxMapper, sax_breakpoints
+from repro.symbolic.series import SymbolicSeries, TimeSeries
+
+__all__ = [
+    "Alphabet",
+    "TimeSeries",
+    "SymbolicSeries",
+    "SymbolMapper",
+    "ThresholdMapper",
+    "QuantileMapper",
+    "SaxMapper",
+    "sax_breakpoints",
+    "SymbolicDatabase",
+]

@@ -1,0 +1,52 @@
+"""Symbol alphabets (the ``Sigma_X`` of paper Def. 3.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SymbolizationError
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A finite, ordered set of permitted symbols for one series.
+
+    Symbols are strings (``"1"``, ``"Low"``, ``"High"`` ...).  Order matters
+    for ordinal mappers: ``symbols[0]`` encodes the lowest value bin.
+    """
+
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise SymbolizationError("an alphabet needs at least one symbol")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise SymbolizationError(f"duplicate symbols in alphabet {self.symbols}")
+
+    @classmethod
+    def binary(cls) -> "Alphabet":
+        """The ON/OFF alphabet of the paper's running example."""
+        return cls(("0", "1"))
+
+    @classmethod
+    def levels(cls, names: list[str] | tuple[str, ...]) -> "Alphabet":
+        """An alphabet from ordered level names, lowest first."""
+        return cls(tuple(names))
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __iter__(self):
+        return iter(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.symbols
+
+    def index(self, symbol: str) -> int:
+        """Ordinal index of a symbol (0 = lowest bin)."""
+        try:
+            return self.symbols.index(symbol)
+        except ValueError:
+            raise SymbolizationError(
+                f"symbol {symbol!r} not in alphabet {self.symbols}"
+            ) from None

@@ -1,0 +1,102 @@
+"""The symbolic database ``DSYB`` (paper Def. 3.6, Table II).
+
+``DSYB`` collects the symbolic representations of a set of time series, all
+sampled at the same finest granularity G (equal lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SymbolizationError
+from repro.symbolic.alphabet import Alphabet
+from repro.symbolic.mapping import SymbolMapper
+from repro.symbolic.series import SymbolicSeries, TimeSeries
+
+
+@dataclass
+class SymbolicDatabase:
+    """A collection of equal-length symbolic series over one time domain."""
+
+    series: dict[str, SymbolicSeries] = field(default_factory=dict)
+
+    @classmethod
+    def from_symbolic(cls, series_list: list[SymbolicSeries]) -> "SymbolicDatabase":
+        """Build from already-encoded series."""
+        database = cls()
+        for symbolic in series_list:
+            database.add(symbolic)
+        return database
+
+    @classmethod
+    def from_raw(
+        cls, series_list: list[TimeSeries], mapper: SymbolMapper
+    ) -> "SymbolicDatabase":
+        """Encode raw series with one shared mapper and collect them."""
+        return cls.from_symbolic([mapper.encode(raw) for raw in series_list])
+
+    @classmethod
+    def from_rows(
+        cls, rows: dict[str, str], alphabet: Alphabet | None = None
+    ) -> "SymbolicDatabase":
+        """Build from compact string rows, e.g. ``{"C": "110100..."}``.
+
+        Convenient for tests reproducing the paper's Table II.  Each
+        character is one symbol; the alphabet defaults to binary.
+        """
+        alphabet = alphabet or Alphabet.binary()
+        return cls.from_symbolic(
+            [
+                SymbolicSeries(name, tuple(row), alphabet)
+                for name, row in rows.items()
+            ]
+        )
+
+    def add(self, symbolic: SymbolicSeries) -> None:
+        """Add one symbolic series; lengths and names must stay consistent."""
+        if symbolic.name in self.series:
+            raise SymbolizationError(f"duplicate series name {symbolic.name!r} in DSYB")
+        if self.series and len(symbolic) != self.n_instants:
+            raise SymbolizationError(
+                f"series {symbolic.name!r} has {len(symbolic)} instants; "
+                f"DSYB requires {self.n_instants}"
+            )
+        self.series[symbolic.name] = symbolic
+
+    @property
+    def n_instants(self) -> int:
+        """Length of every series (granule count at granularity G)."""
+        if not self.series:
+            raise SymbolizationError("empty DSYB has no instant count")
+        return len(next(iter(self.series.values())))
+
+    @property
+    def names(self) -> list[str]:
+        """Series names in insertion order."""
+        return list(self.series)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __getitem__(self, name: str) -> SymbolicSeries:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise SymbolizationError(f"no series named {name!r} in DSYB") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    def __iter__(self):
+        return iter(self.series.values())
+
+    def subset(self, names: list[str]) -> "SymbolicDatabase":
+        """A new DSYB restricted to the given series names (A-STPM pruning)."""
+        return SymbolicDatabase.from_symbolic([self[name] for name in names])
+
+    def event_keys(self) -> list[str]:
+        """Every possible event identifier ``series:symbol`` in the database."""
+        keys: list[str] = []
+        for symbolic in self.series.values():
+            keys.extend(symbolic.event_keys())
+        return keys

@@ -1,0 +1,115 @@
+"""Mapping functions ``f: X -> Sigma_X`` (paper Def. 3.5).
+
+Two general-purpose mappers are provided:
+
+* :class:`ThresholdMapper` -- fixed breakpoints chosen by the caller (the
+  paper's ON/OFF device example: ``value > 0 -> "1"``).
+* :class:`QuantileMapper` -- data-driven equi-depth breakpoints, the common
+  choice for weather/energy level symbols (Low / Medium / High ...).
+
+SAX (Lin et al. [41]), which the paper cites as an example mapping, lives in
+:mod:`repro.symbolic.sax` and follows the same protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import SymbolizationError
+from repro.symbolic.alphabet import Alphabet
+from repro.symbolic.series import SymbolicSeries, TimeSeries
+
+
+@runtime_checkable
+class SymbolMapper(Protocol):
+    """Protocol for mapping functions from raw values to symbols."""
+
+    def encode(self, series: TimeSeries) -> SymbolicSeries:
+        """Encode a raw series into a symbolic series."""
+        ...
+
+
+def _encode_with_breakpoints(
+    series: TimeSeries, breakpoints: np.ndarray, alphabet: Alphabet
+) -> SymbolicSeries:
+    """Shared binning core: value v gets bin ``#{b in breakpoints : b < v}``.
+
+    A value equal to a breakpoint stays in the lower bin, so the paper's
+    device example (breakpoint 0.0) maps a 0.0 reading to OFF.
+    ``len(breakpoints)`` must be ``len(alphabet) - 1``; bins map to alphabet
+    symbols in order (lowest bin -> first symbol).
+    """
+    if len(breakpoints) != len(alphabet) - 1:
+        raise SymbolizationError(
+            f"{len(alphabet)} symbols need {len(alphabet) - 1} breakpoints, "
+            f"got {len(breakpoints)}"
+        )
+    if np.any(np.diff(breakpoints) < 0):
+        raise SymbolizationError("breakpoints must be non-decreasing")
+    bins = np.searchsorted(breakpoints, series.as_array(), side="left")
+    symbols = tuple(alphabet.symbols[b] for b in bins)
+    return SymbolicSeries(series.name, symbols, alphabet)
+
+
+@dataclass(frozen=True)
+class ThresholdMapper:
+    """Fixed-breakpoint binning.
+
+    ``breakpoints`` are the bin upper bounds (inclusive): a value ``v`` maps
+    to the first symbol whose breakpoint is ``>= v``; values above every
+    breakpoint map to the last symbol.
+
+    Example: ``ThresholdMapper((0.0,), Alphabet.binary())`` encodes the
+    paper's device-energy series: values ``<= 0`` become ``"0"`` (OFF) and
+    values ``> 0`` become ``"1"`` (ON).
+    """
+
+    breakpoints: tuple[float, ...]
+    alphabet: Alphabet
+
+    def encode(self, series: TimeSeries) -> SymbolicSeries:
+        return _encode_with_breakpoints(
+            series, np.asarray(self.breakpoints, dtype=float), self.alphabet
+        )
+
+
+@dataclass(frozen=True)
+class QuantileMapper:
+    """Equi-depth binning: breakpoints at the empirical quantiles.
+
+    With alphabet ``(Low, Medium, High)`` the breakpoints sit at the 1/3 and
+    2/3 quantiles of the series' own values, so each symbol covers roughly
+    the same number of instants.
+    """
+
+    alphabet: Alphabet
+
+    def encode(self, series: TimeSeries) -> SymbolicSeries:
+        n_bins = len(self.alphabet)
+        if n_bins == 1:
+            return SymbolicSeries(
+                series.name, (self.alphabet.symbols[0],) * len(series), self.alphabet
+            )
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        breakpoints = np.quantile(series.as_array(), quantiles)
+        return _encode_with_breakpoints(series, breakpoints, self.alphabet)
+
+
+@dataclass(frozen=True)
+class ExplicitMapper:
+    """A mapper that returns pre-computed symbols (used by dataset builders
+    that symbolize with domain-specific rules)."""
+
+    symbols: tuple[str, ...]
+    alphabet: Alphabet
+
+    def encode(self, series: TimeSeries) -> SymbolicSeries:
+        if len(self.symbols) != len(series):
+            raise SymbolizationError(
+                f"explicit symbols length {len(self.symbols)} does not match "
+                f"series {series.name!r} length {len(series)}"
+            )
+        return SymbolicSeries(series.name, self.symbols, self.alphabet)

@@ -1,0 +1,112 @@
+"""Raw and symbolic time-series containers (paper Def. 3.5).
+
+A :class:`TimeSeries` is a chronologically ordered sequence of float values
+sampled at every instant of the finest granularity G.  A
+:class:`SymbolicSeries` is its 1-to-1 encoding into alphabet symbols, so it
+shares the granularity of the raw series.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SymbolizationError
+from repro.symbolic.alphabet import Alphabet
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A named, uniformly sampled raw series.
+
+    Parameters
+    ----------
+    name:
+        Series identifier, e.g. ``"C"`` (Cooker) or ``"Temperature"``.
+    values:
+        The data values in chronological order.
+    """
+
+    name: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SymbolizationError("a time series needs a non-empty name")
+        if not self.values:
+            raise SymbolizationError(f"time series {self.name!r} has no values")
+
+    @classmethod
+    def from_array(cls, name: str, values) -> "TimeSeries":
+        """Build from any iterable / numpy array of numbers."""
+        return cls(name, tuple(float(v) for v in np.asarray(values, dtype=float)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_array(self) -> np.ndarray:
+        """The values as a float numpy array (copy)."""
+        return np.asarray(self.values, dtype=float)
+
+
+@dataclass(frozen=True)
+class SymbolicSeries:
+    """A symbolic series ``XS`` -- the encoded form of one raw series.
+
+    The encoding is 1-to-1 (one symbol per instant), so the symbolic series
+    has the same granularity G as the raw series it came from.
+    """
+
+    name: str
+    symbols: tuple[str, ...]
+    alphabet: Alphabet
+    _counts: Counter = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise SymbolizationError(f"symbolic series {self.name!r} is empty")
+        counts = Counter(self.symbols)
+        unknown = set(counts) - set(self.alphabet.symbols)
+        if unknown:
+            raise SymbolizationError(
+                f"series {self.name!r} uses symbols {sorted(unknown)} "
+                f"outside its alphabet {self.alphabet.symbols}"
+            )
+        object.__setattr__(self, "_counts", counts)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __getitem__(self, index: int) -> str:
+        return self.symbols[index]
+
+    def event_key(self, symbol: str) -> str:
+        """The event identifier ``series:symbol`` used throughout mining.
+
+        The paper writes temporal events as e.g. ``C:1`` -- series C holding
+        symbol 1 (Def. 3.7 and Table IV).
+        """
+        if symbol not in self.alphabet:
+            raise SymbolizationError(
+                f"symbol {symbol!r} not in alphabet of series {self.name!r}"
+            )
+        return f"{self.name}:{symbol}"
+
+    def event_keys(self) -> list[str]:
+        """All event identifiers this series can produce."""
+        return [f"{self.name}:{symbol}" for symbol in self.alphabet]
+
+    def probability(self, symbol: str) -> float:
+        """Empirical probability ``p(symbol)`` over the series (Def. 5.1)."""
+        return self._counts.get(symbol, 0) / len(self.symbols)
+
+    def probabilities(self) -> dict[str, float]:
+        """Empirical distribution over the alphabet (zero-prob symbols kept)."""
+        total = len(self.symbols)
+        return {symbol: self._counts.get(symbol, 0) / total for symbol in self.alphabet}
+
+    def observed_symbols(self) -> list[str]:
+        """Alphabet symbols that actually occur, in alphabet order."""
+        return [symbol for symbol in self.alphabet if self._counts.get(symbol, 0) > 0]

@@ -1,0 +1,148 @@
+"""The temporal sequence database ``DSEQ`` (paper Defs. 3.9-3.11).
+
+The sequence mapping ``g: XS ->m H`` groups every ``m`` adjacent symbols of
+a symbolic series into one coarse granule ``Hi``; inside a granule,
+consecutive identical symbols become one event instance (Def. 3.10).
+Instances never span granule boundaries -- exactly as in the paper's Table
+IV, where C's ON-run over G19..G24 appears as ``(C:1,[G19,G21])`` in H7 and
+``(C:1,[G22,G24])`` in H8.
+
+Instance intervals keep *global* fine-granule positions so that all
+relation arithmetic is uniform across granules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events.event import EventInstance
+from repro.events.sequence import TemporalSequence
+from repro.exceptions import TransformError
+from repro.symbolic.database import SymbolicDatabase
+
+
+@dataclass
+class TemporalSequenceDatabase:
+    """``DSEQ``: one :class:`TemporalSequence` per coarse granule.
+
+    Attributes
+    ----------
+    rows:
+        Sequences in granule-position order (``rows[0]`` is position 1).
+    ratio:
+        The m of the sequence mapping ``g: XS ->m H``.
+    source_names:
+        The series names of the originating DSYB (kept for A-STPM, which
+        prunes series before mining).
+    """
+
+    rows: list[TemporalSequence]
+    ratio: int
+    source_names: list[str] = field(default_factory=list)
+    _event_support: dict[str, list[int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def sequence_at(self, position: int) -> TemporalSequence:
+        """The temporal sequence of the granule at 1-based ``position``."""
+        if not 1 <= position <= len(self.rows):
+            raise TransformError(
+                f"granule position {position} outside [1, {len(self.rows)}]"
+            )
+        return self.rows[position - 1]
+
+    def event_support(self) -> dict[str, list[int]]:
+        """Support set per event: sorted granule positions where it occurs.
+
+        This is the ``SUP_E`` of Def. 3.12 for every event, computed with a
+        single scan of DSEQ (as Alg. 1 step 2.1 requires) and cached.
+        """
+        if not self._event_support:
+            support: dict[str, list[int]] = {}
+            for row in self.rows:
+                for event in row.events():
+                    support.setdefault(event, []).append(row.position)
+            self._event_support = support
+        return self._event_support
+
+    def events(self) -> list[str]:
+        """All distinct event keys occurring anywhere in DSEQ."""
+        return list(self.event_support())
+
+    def instances_at(self, position: int, event: str) -> list[EventInstance]:
+        """Instances of ``event`` in the granule at ``position``."""
+        return self.sequence_at(position).instances_of(event)
+
+    def total_instances(self) -> int:
+        """Total number of event instances across all rows."""
+        return sum(len(row) for row in self.rows)
+
+    def describe_row(self, position: int) -> str:
+        """Paper-style rendering of one Table IV row."""
+        return self.sequence_at(position).describe()
+
+
+def _granule_instances(
+    name: str, symbols: tuple[str, ...], granule_index: int, ratio: int
+) -> list[EventInstance]:
+    """Event instances of one series inside one coarse granule.
+
+    ``granule_index`` is 0-based; returned intervals use global 1-based
+    fine-granule positions.
+    """
+    start = granule_index * ratio
+    block = symbols[start : start + ratio]
+    instances: list[EventInstance] = []
+    run_symbol = block[0]
+    run_start = start + 1
+    for offset in range(1, len(block)):
+        if block[offset] != run_symbol:
+            instances.append(
+                EventInstance(f"{name}:{run_symbol}", run_start, start + offset)
+            )
+            run_symbol = block[offset]
+            run_start = start + offset + 1
+    instances.append(EventInstance(f"{name}:{run_symbol}", run_start, start + len(block)))
+    return instances
+
+
+def build_sequence_database(
+    dsyb: SymbolicDatabase, ratio: int
+) -> TemporalSequenceDatabase:
+    """Apply the sequence mapping ``g: XS ->m H`` to every series of DSYB.
+
+    Parameters
+    ----------
+    dsyb:
+        The symbolic database at the fine granularity G.
+    ratio:
+        The m of the mapping (how many fine granules form one coarse
+        granule).  A trailing block of fewer than ``ratio`` symbols is
+        dropped, consistent with Def. 3.3's complete-partition requirement.
+    """
+    if ratio < 1:
+        raise TransformError(f"sequence mapping ratio must be >= 1, got {ratio}")
+    if len(dsyb) == 0:
+        raise TransformError("cannot build DSEQ from an empty DSYB")
+    n_granules = dsyb.n_instants // ratio
+    if n_granules == 0:
+        raise TransformError(
+            f"ratio {ratio} exceeds the {dsyb.n_instants} instants of DSYB"
+        )
+    rows: list[TemporalSequence] = []
+    for granule_index in range(n_granules):
+        sequence = TemporalSequence(position=granule_index + 1)
+        for symbolic in dsyb:
+            sequence.instances.extend(
+                _granule_instances(
+                    symbolic.name, symbolic.symbols, granule_index, ratio
+                )
+            )
+        rows.append(sequence.finalize())
+    return TemporalSequenceDatabase(rows=rows, ratio=ratio, source_names=dsyb.names)

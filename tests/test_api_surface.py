@@ -1,0 +1,42 @@
+"""API-surface checks: exports exist, everything public is documented."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+class TestPublicExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_public_callables_are_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert getattr(obj, "__doc__", None), f"{name} lacks a docstring"
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert major.isdigit() and minor.isdigit() and patch.isdigit()
+
+
+class TestModuleDocumentation:
+    def test_every_module_has_a_docstring(self):
+        seen = []
+        for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(module_info.name)
+            assert module.__doc__, f"{module_info.name} lacks a module docstring"
+            seen.append(module_info.name)
+        # Sanity: the walk actually covered the library.
+        assert len(seen) > 25
+
+    def test_public_classes_have_documented_methods(self):
+        from repro import ESTPM, ASTPM, MiningParams, TemporalPattern
+
+        for cls in (ESTPM, ASTPM, MiningParams, TemporalPattern):
+            for attr_name, attr in vars(cls).items():
+                if attr_name.startswith("_") or not callable(attr):
+                    continue
+                assert attr.__doc__, f"{cls.__name__}.{attr_name} lacks a docstring"

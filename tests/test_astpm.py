@@ -1,0 +1,94 @@
+"""Unit tests for A-STPM (paper Alg. 2)."""
+
+import pytest
+
+from repro import ASTPM, ESTPM, MiningParams, SymbolicDatabase, build_sequence_database
+from repro.core.approximate import screen_correlated_series
+from repro.exceptions import MiningError
+from repro.metrics import accuracy_pct
+from repro.symbolic import Alphabet, SymbolicSeries
+
+
+def _correlated_pair_db(n=300, flip=0.02, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    x = [rng.choice("01") for _ in range(n)]
+    y = [s if rng.random() > flip else ("1" if s == "0" else "0") for s in x]
+    z = [rng.choice("01") for _ in range(n)]  # independent
+    return SymbolicDatabase.from_symbolic(
+        [
+            SymbolicSeries("X", tuple(x), Alphabet.binary()),
+            SymbolicSeries("Y", tuple(y), Alphabet.binary()),
+            SymbolicSeries("Z", tuple(z), Alphabet.binary()),
+        ]
+    )
+
+
+def _params():
+    return MiningParams(max_period=3, min_density=2, dist_interval=(0, 30), min_season=2)
+
+
+class TestScreening:
+    def test_correlated_pair_kept_independent_pruned(self):
+        dsyb = _correlated_pair_db()
+        dseq_len = dsyb.n_instants // 2
+        report = screen_correlated_series(dsyb, _params(), dseq_len)
+        assert report.correlated_series == frozenset({"X", "Y"})
+        assert report.pruned_series == ["Z"]
+        assert report.n_pruned_series == 1
+        assert report.pruned_series_pct() == pytest.approx(100.0 / 3.0)
+        assert frozenset(("X", "Y")) in report.correlated_pairs
+        assert report.mi_seconds >= 0.0
+
+    def test_screening_via_miner(self):
+        dsyb = _correlated_pair_db()
+        report = ASTPM(dsyb, 2, _params()).screening()
+        assert "Z" in report.pruned_series
+
+
+class TestMining:
+    def test_result_is_subset_of_exact(self):
+        dsyb = _correlated_pair_db()
+        dseq = build_sequence_database(dsyb, 2)
+        params = _params()
+        exact = ESTPM(dseq, params).mine()
+        approx = ASTPM(dsyb, 2, params, dseq=dseq).mine()
+        assert approx.pattern_keys() <= exact.pattern_keys()
+        assert 0.0 <= accuracy_pct(exact, approx) <= 100.0
+
+    def test_patterns_on_kept_series_are_recovered_exactly(self):
+        dsyb = _correlated_pair_db()
+        dseq = build_sequence_database(dsyb, 2)
+        params = _params()
+        exact = ESTPM(dseq, params).mine()
+        approx = ASTPM(dsyb, 2, params, dseq=dseq).mine()
+        kept_exact = {
+            p
+            for p in exact.pattern_keys()
+            if all(e.rsplit(":", 1)[0] in {"X", "Y"} for e in p.events)
+        }
+        assert approx.pattern_keys() == kept_exact
+
+    def test_stats_carry_screening_info(self):
+        dsyb = _correlated_pair_db()
+        result = ASTPM(dsyb, 2, _params()).mine()
+        assert result.stats.n_series_pruned == 1
+        assert result.stats.mi_seconds >= 0.0
+
+    def test_builds_dseq_when_not_supplied(self):
+        dsyb = _correlated_pair_db()
+        result = ASTPM(dsyb, 2, _params()).mine()
+        assert result.stats.n_granules == dsyb.n_instants // 2
+
+    def test_empty_dsyb_rejected(self):
+        with pytest.raises(MiningError):
+            ASTPM(SymbolicDatabase(), 2, _params()).mine()
+
+
+class TestOnTinyDataset:
+    def test_accuracy_shape_on_tiny_re(self, tiny_re):
+        params = tiny_re.params(min_season=2, max_period_pct=1.0, min_density_pct=1.0)
+        exact = ESTPM(tiny_re.dseq(), params).mine()
+        approx = ASTPM(tiny_re.dsyb, tiny_re.ratio, params, dseq=tiny_re.dseq()).mine()
+        assert approx.pattern_keys() <= exact.pattern_keys()

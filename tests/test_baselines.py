@@ -1,0 +1,61 @@
+"""Unit tests for APS-growth and the naive oracle miner."""
+
+import pytest
+
+from repro import ESTPM, MiningParams, SymbolicDatabase, build_sequence_database
+from repro.baselines import APSGrowth, NaiveSTPM
+from repro.baselines.apsgrowth import transactions_from_dseq
+
+
+class TestTransactionsView:
+    def test_granule_to_events(self, paper_dseq):
+        transactions = transactions_from_dseq(paper_dseq)
+        assert len(transactions) == 14
+        assert set(transactions[5]) == {"C:0", "D:0", "F:1", "M:1", "N:1"}
+
+
+class TestAPSGrowth:
+    def test_phase1_matches_maxseason_gate(self, paper_dseq, paper_params):
+        baseline = APSGrowth(paper_dseq, paper_params)
+        events = baseline.recurring_events()
+        # minSup = minSeason * minDensity = 6: same events as Fig. 6's HLH1.
+        assert set(events) == {"C:1", "C:0", "D:1", "D:0", "F:1", "F:0", "M:1", "N:1"}
+        assert baseline.phase1_itemsets == 8
+
+    def test_output_equals_estpm(self, paper_dseq, paper_params):
+        exact = ESTPM(paper_dseq, paper_params).mine()
+        baseline = APSGrowth(paper_dseq, paper_params).mine()
+        assert baseline.pattern_keys() == exact.pattern_keys()
+        assert baseline.stats.mining_seconds > 0
+
+    def test_output_equals_estpm_on_tiny_dataset(self, tiny_inf):
+        params = tiny_inf.params(min_season=2, max_period_pct=1.0, min_density_pct=1.0)
+        params = params.with_updates(max_pattern_length=2)
+        exact = ESTPM(tiny_inf.dseq(), params).mine()
+        baseline = APSGrowth(tiny_inf.dseq(), params).mine()
+        assert baseline.pattern_keys() == exact.pattern_keys()
+
+
+class TestNaive:
+    def test_equals_estpm_on_paper_example(self, paper_dseq, paper_params):
+        exact = ESTPM(paper_dseq, paper_params).mine()
+        naive = NaiveSTPM(paper_dseq, paper_params).mine()
+        assert naive.pattern_keys() == exact.pattern_keys()
+
+    def test_support_gate_is_lossless(self, paper_dseq, paper_params):
+        gated = NaiveSTPM(paper_dseq, paper_params, support_gate=True).mine()
+        ungated = NaiveSTPM(paper_dseq, paper_params, support_gate=False).mine()
+        assert gated.pattern_keys() == ungated.pattern_keys()
+
+    def test_event_whitelist(self, paper_dseq, paper_params):
+        naive = NaiveSTPM(paper_dseq, paper_params, events=["C:1", "D:1"]).mine()
+        for sp in naive.patterns:
+            assert set(sp.pattern.events) <= {"C:1", "D:1"}
+
+    def test_respects_max_pattern_length(self):
+        dseq = build_sequence_database(
+            SymbolicDatabase.from_rows({"A": "110110", "B": "110110"}), 3
+        )
+        params = MiningParams(2, 1, (0, 10), 1, max_pattern_length=2)
+        naive = NaiveSTPM(dseq, params).mine()
+        assert not naive.by_size(3)

@@ -1,0 +1,140 @@
+"""Unit tests for Theorem 1 / Corollary 1.1 (paper Sec. V-B)."""
+
+import pytest
+
+from repro import MiningParams, SymbolicDatabase, build_sequence_database
+from repro.core.bounds import max_season_lower_bound, mu_threshold, series_pair_mu
+from repro.core.mi import normalized_mutual_information
+from repro.core.seasonality import max_season
+from repro.exceptions import MiningError
+from repro.symbolic import Alphabet, SymbolicSeries
+
+
+class TestMuThreshold:
+    def test_within_unit_interval(self):
+        for lambda1 in (0.1, 0.3, 0.5):
+            for lambda2 in (0.2, 0.5, 0.9):
+                mu = mu_threshold(lambda1, lambda2, 4, 8, 1460)
+                assert 0.0 <= mu <= 1.0
+
+    def test_monotone_in_min_season(self):
+        # Stricter seasonality demands more correlation (higher mu) --
+        # within the same Corollary case.
+        lo = mu_threshold(0.33, 0.33, 2, 2, 400)
+        hi = mu_threshold(0.33, 0.33, 20, 2, 400)
+        assert hi >= lo
+
+    def test_case2_engaged_for_large_rho(self):
+        # rho = minSeason*minDensity/(lambda2*n) > 1/e.
+        mu = mu_threshold(0.33, 0.33, 50, 4, 400)
+        assert 0.0 <= mu <= 1.0
+
+    def test_rho_above_one_requires_full_correlation(self):
+        mu = mu_threshold(0.33, 0.33, 400, 4, 400)
+        assert mu == 1.0
+
+    def test_constant_series_needs_no_correlation(self):
+        assert mu_threshold(1.0, 0.5, 4, 8, 1460) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            mu_threshold(0.0, 0.5, 4, 8, 100)
+        with pytest.raises(MiningError):
+            mu_threshold(0.5, 1.5, 4, 8, 100)
+        with pytest.raises(MiningError):
+            mu_threshold(0.5, 0.5, 0, 8, 100)
+
+
+class TestLowerBound:
+    def test_zero_when_branch_argument_below_minus_one_over_e(self):
+        # Tiny lambda2 pushes the Lambert argument below -1/e: no constraint.
+        assert max_season_lower_bound(0.01, 0.01, 0.0, 1000, 5) == 0.0
+
+    def test_monotone_in_mu(self):
+        # Stronger correlation guarantees at least as many seasons.
+        lo = max_season_lower_bound(0.3, 0.5, 0.5, 1000, 5)
+        hi = max_season_lower_bound(0.3, 0.5, 0.9, 1000, 5)
+        assert hi >= lo
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            max_season_lower_bound(0.5, 0.5, 1.5, 100, 5)
+        with pytest.raises(MiningError):
+            max_season_lower_bound(0.0, 0.5, 0.5, 100, 5)
+
+    def test_consistency_with_corollary(self):
+        # If NMI >= mu_threshold(minSeason), the bound must reach minSeason.
+        lambda1, lambda2 = 0.33, 0.4
+        min_season, min_density, n = 4, 2, 400
+        mu = mu_threshold(lambda1, lambda2, min_season, min_density, n)
+        if mu < 1.0:
+            bound = max_season_lower_bound(lambda1, lambda2, mu, n, min_density)
+            assert bound >= min_season - 1e-6
+
+
+class TestTheoremEmpirically:
+    def test_bound_holds_on_correlated_pair(self):
+        # Build two strongly dependent binary series and verify that the
+        # observed maxSeason of every event pair respects Eq. (6).
+        import random
+
+        rng = random.Random(5)
+        x_symbols = [rng.choice("01") for _ in range(600)]
+        y_symbols = [
+            s if rng.random() < 0.95 else ("1" if s == "0" else "0")
+            for s in x_symbols
+        ]
+        dsyb = SymbolicDatabase.from_symbolic(
+            [
+                SymbolicSeries("X", tuple(x_symbols), Alphabet.binary()),
+                SymbolicSeries("Y", tuple(y_symbols), Alphabet.binary()),
+            ]
+        )
+        dseq = build_sequence_database(dsyb, ratio=2)
+        min_density = 2
+        nmi = normalized_mutual_information(dsyb["X"], dsyb["Y"])
+        support = dseq.event_support()
+        probabilities_x = dsyb["X"].probabilities()
+        probabilities_y = dsyb["Y"].probabilities()
+        lambda1 = min(p for p in probabilities_x.values() if p > 0)
+        for y_symbol, lambda2 in probabilities_y.items():
+            if lambda2 == 0:
+                continue
+            bound = max_season_lower_bound(lambda1, lambda2, nmi, len(dseq), min_density)
+            for x_symbol in ("0", "1"):
+                pair_support = [
+                    g
+                    for g in support[f"X:{x_symbol}"]
+                    if g in set(support[f"Y:{y_symbol}"])
+                ]
+                observed = max_season(len(pair_support), min_density)
+                # Theorem 1 lower-bounds the *specific* pair (X1, Y1) used
+                # in its derivation; we check the max over x, which the
+                # bound must not exceed either.
+            best = max(
+                max_season(
+                    len(
+                        [
+                            g
+                            for g in support[f"X:{x}"]
+                            if g in set(support[f"Y:{y_symbol}"])
+                        ]
+                    ),
+                    min_density,
+                )
+                for x in ("0", "1")
+            )
+            assert best >= bound - 1e-6
+
+
+class TestSeriesPairMu:
+    def test_uses_minimum_over_event_pairs(self):
+        x = SymbolicSeries("X", tuple("00110101" * 10), Alphabet.binary())
+        y = SymbolicSeries("Y", tuple("01010011" * 10), Alphabet.binary())
+        params = MiningParams(2, 2, (0, 10), 2)
+        mu = series_pair_mu(x, y, params, n_granules=40)
+        candidates = [
+            mu_threshold(0.5, lambda2, 2, 2, 40)
+            for lambda2 in y.probabilities().values()
+        ]
+        assert mu == pytest.approx(min(candidates))

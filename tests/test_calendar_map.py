@@ -1,0 +1,79 @@
+"""Unit tests for the Table VIII seasonal-occurrence attribution."""
+
+import pytest
+
+from repro.core.seasonality import SeasonView
+from repro.exceptions import ReproError
+from repro.harness.calendar_map import (
+    describe_seasonal_occurrence,
+    month_of_position,
+    season_months,
+)
+
+
+class TestMonthOfPosition:
+    def test_day_unit_january(self):
+        assert month_of_position(1, "day") == 1
+        assert month_of_position(31, "day") == 1
+        assert month_of_position(32, "day") == 2
+
+    def test_day_unit_december(self):
+        assert month_of_position(365, "day") == 12
+
+    def test_wraps_across_years(self):
+        assert month_of_position(366, "day") == 1
+        assert month_of_position(365 + 32, "day") == 2
+
+    def test_week_unit(self):
+        assert month_of_position(1, "week") == 1
+        assert month_of_position(5, "week") == 1  # day 29
+        assert month_of_position(6, "week") == 2  # day 36
+
+    def test_start_month_offset(self):
+        # Position 1 in July.
+        assert month_of_position(1, "day", start_month=7) == 7
+        assert month_of_position(32, "day", start_month=7) == 8
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            month_of_position(0, "day")
+        with pytest.raises(ReproError):
+            month_of_position(1, "fortnight")
+        with pytest.raises(ReproError):
+            month_of_position(1, "day", start_month=0)
+
+
+class TestSeasonMonths:
+    def _view(self, *seasons):
+        flat = tuple(g for season in seasons for g in season)
+        return SeasonView(
+            support=flat,
+            near_sets=tuple(tuple(s) for s in seasons),
+            seasons=tuple(tuple(s) for s in seasons),
+        )
+
+    def test_winter_seasons(self):
+        # Two January seasons a year apart (daily positions).
+        view = self._view(range(5, 25), range(370, 390))
+        months = season_months(view, "day")
+        assert "January" in months
+
+    def test_describe(self):
+        view = self._view(range(5, 25))
+        assert describe_seasonal_occurrence(view, "day") == "January"
+
+    def test_empty_view(self):
+        view = SeasonView(support=(), near_sets=(), seasons=())
+        assert describe_seasonal_occurrence(view, "day") == "-"
+
+    def test_top_limit_and_calendar_order(self):
+        view = self._view(range(1, 120))  # spans Jan..Apr
+        months = season_months(view, "day", top=2)
+        assert len(months) == 2
+        assert months == sorted(
+            months,
+            key=lambda m: [
+                "January", "February", "March", "April", "May", "June", "July",
+                "August", "September", "October", "November", "December",
+            ].index(m),
+        )

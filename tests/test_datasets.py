@@ -1,0 +1,187 @@
+"""Unit tests for the dataset simulators (paper Table V shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    build_hfm,
+    build_inf,
+    build_re,
+    build_sc,
+    load_dataset,
+    scale_sequences,
+    scale_series,
+)
+from repro.datasets.registry import PROFILES
+from repro.datasets.synthetic import (
+    lagged_response,
+    mix,
+    noisy,
+    seasonal_pulses,
+    yearly_sinusoid,
+)
+from repro.exceptions import DatasetError
+
+
+class TestTable5Shapes:
+    @pytest.mark.parametrize(
+        "builder,n_sequences,n_series",
+        [(build_re, 1460, 21), (build_sc, 1249, 14), (build_inf, 608, 25), (build_hfm, 730, 24)],
+    )
+    def test_full_profile_shape(self, builder, n_sequences, n_series):
+        dataset = builder()
+        assert dataset.n_sequences == n_sequences
+        assert dataset.n_series == n_series
+
+    def test_summary_reports_events_and_instances(self):
+        dataset = build_inf(n_sequences=60, n_series=6)
+        summary = dataset.summary()
+        assert summary["n_sequences"] == 60
+        assert summary["n_time_series"] == 6
+        assert summary["n_events"] > 6
+        assert summary["instances_per_sequence"] >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = build_re(n_sequences=50, n_series=5, seed=42)
+        b = build_re(n_sequences=50, n_series=5, seed=42)
+        for name in a.dsyb.names:
+            assert a.dsyb[name].symbols == b.dsyb[name].symbols
+
+    def test_different_seed_differs(self):
+        a = build_re(n_sequences=50, n_series=5, seed=1)
+        b = build_re(n_sequences=50, n_series=5, seed=2)
+        assert any(
+            a.dsyb[name].symbols != b.dsyb[name].symbols for name in a.dsyb.names
+        )
+
+
+class TestValidation:
+    def test_series_bounds(self):
+        with pytest.raises(DatasetError):
+            build_re(n_series=0)
+        with pytest.raises(DatasetError):
+            build_re(n_series=99)
+
+    def test_sequence_bounds(self):
+        with pytest.raises(DatasetError):
+            build_inf(n_sequences=1)
+
+
+class TestRegistry:
+    def test_profiles_load(self):
+        for profile in PROFILES:
+            dataset = load_dataset("RE", profile)
+            expected_sequences, expected_series = PROFILES[profile]["RE"]
+            assert dataset.n_sequences == expected_sequences
+            assert dataset.n_series == expected_series
+
+    def test_case_insensitive_name(self):
+        assert load_dataset("inf", "tiny").name == "INF"
+
+    def test_unknown_name_and_profile(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+        with pytest.raises(DatasetError):
+            load_dataset("RE", "nope")
+
+    def test_params_resolution(self, tiny_re):
+        params = tiny_re.params(min_season=3)
+        assert params.min_season == 3
+        assert params.dist_interval == tiny_re.dist_interval
+
+
+class TestScaling:
+    def test_scale_series_adds_derived_and_noise_series(self, tiny_re):
+        scaled = scale_series(tiny_re, tiny_re.n_series + 4, seed=9)
+        assert scaled.n_series == tiny_re.n_series + 4
+        assert scaled.n_sequences == tiny_re.n_sequences
+        assert any(name.startswith("Syn") for name in scaled.dsyb.names)
+
+    def test_scale_series_below_base_rejected(self, tiny_re):
+        with pytest.raises(DatasetError):
+            scale_series(tiny_re, 1)
+
+    def test_scale_sequences(self):
+        scaled = scale_sequences(build_inf, 52, n_series=5)
+        assert scaled.n_sequences == 52
+        assert "syn-seq52" in scaled.name
+
+    def test_scale_sequences_validation(self):
+        with pytest.raises(DatasetError):
+            scale_sequences(build_inf, 1)
+
+
+class TestSyntheticBlocks:
+    def test_yearly_sinusoid_peaks_at_phase(self):
+        values = yearly_sinusoid(100, period=100, phase_frac=0.3, amplitude=2.0)
+        assert np.argmax(values) == 30
+
+    def test_seasonal_pulses_repeat(self):
+        values = seasonal_pulses(200, period=50, center_frac=0.5, width_frac=0.1)
+        assert values[25] == pytest.approx(values[75], rel=1e-9)
+        assert values[25] > values[0]
+
+    def test_lagged_response_shifts(self):
+        base = np.arange(5.0)
+        shifted = lagged_response(base, lag=2, gain=2.0, bias=1.0)
+        assert shifted.tolist() == [1.0, 1.0, 1.0, 3.0, 5.0]
+
+    def test_lag_zero_is_affine(self):
+        base = np.arange(3.0)
+        assert lagged_response(base, 0, 2.0, 1.0).tolist() == [1.0, 3.0, 5.0]
+
+    def test_noisy_zero_scale_is_copy(self):
+        rng = np.random.default_rng(0)
+        base = np.ones(4)
+        out = noisy(rng, base, 0.0)
+        assert out.tolist() == base.tolist()
+        assert out is not base
+
+    def test_mix_validates_lengths(self):
+        with pytest.raises(DatasetError):
+            mix(np.ones(3), np.ones(4))
+
+    def test_negative_parameters_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            noisy(rng, np.ones(3), -1.0)
+        with pytest.raises(DatasetError):
+            lagged_response(np.ones(3), lag=-1)
+        with pytest.raises(DatasetError):
+            seasonal_pulses(10, 5, 0.5, 1.5)
+
+
+class TestQualitativeFidelity:
+    def test_influenza_peaks_in_winter(self):
+        # The paper's P4: very high influenza concentrates in Jan-Feb.
+        from repro import ESTPM
+        from repro.harness.calendar_map import season_months
+
+        dataset = build_inf(n_sequences=208, n_series=2)
+        params = dataset.params(min_season=2, max_period_pct=1.0, min_density_pct=0.5)
+        result = ESTPM(dataset.dseq(), params).mine()
+        peaks = [
+            sp
+            for sp in result.by_size(1)
+            if sp.pattern.events[0] == "InfluenzaCases:VeryHigh"
+        ]
+        assert peaks, "very high influenza must be frequent seasonal"
+        months = season_months(peaks[0].seasons, "week")
+        assert {"January", "February"} & set(months)
+
+
+class TestSeasonalStructure:
+    def test_re_wind_power_family_is_symbol_identical_modulo_alphabet(self):
+        dataset = build_re(n_sequences=60, n_series=4)
+        # WindPower is an exact monotone transform of WindSpeed, and both
+        # use the same 5-level alphabet -> identical symbols.
+        assert dataset.dsyb["WindSpeed"].symbols == dataset.dsyb["WindPower"].symbols
+
+    def test_inf_family_alignment(self):
+        dataset = build_inf(n_sequences=60, n_series=2)
+        assert (
+            dataset.dsyb["InfluenzaCases"].symbols
+            == dataset.dsyb["InfluenzaA"].symbols
+        )

@@ -1,0 +1,91 @@
+"""Tests for the event-level A-STPM extension (the paper's future work)."""
+
+import pytest
+
+from repro import ASTPM, ESTPM, MiningParams, SymbolicDatabase, build_sequence_database
+from repro.core.approximate import screen_correlated_series, screen_events
+from repro.symbolic import Alphabet, SymbolicSeries
+
+
+def _skewed_pair_db(n=400, seed=7):
+    """Two correlated 3-symbol series where symbol 'c' is very rare."""
+    import random
+
+    rng = random.Random(seed)
+    base = [rng.choices("abc", weights=[48, 48, 4])[0] for _ in range(n)]
+    noisy = [s if rng.random() < 0.985 else "a" for s in base]
+    alphabet = Alphabet(("a", "b", "c"))
+    return SymbolicDatabase.from_symbolic(
+        [
+            SymbolicSeries("X", tuple(base), alphabet),
+            SymbolicSeries("Y", tuple(noisy), alphabet),
+        ]
+    )
+
+
+def _params():
+    return MiningParams(max_period=3, min_density=2, dist_interval=(0, 40), min_season=3)
+
+
+class TestScreenEvents:
+    def test_common_events_kept(self):
+        dsyb = _skewed_pair_db()
+        params = _params()
+        n = dsyb.n_instants // 2
+        report = screen_correlated_series(dsyb, params, n)
+        assert report.correlated_pairs  # the pair passes the MI gate
+        kept = screen_events(dsyb, params, n, report)
+        assert {"X:a", "X:b", "Y:a", "Y:b"} <= kept
+
+    def test_rare_events_can_be_pruned(self):
+        dsyb = _skewed_pair_db()
+        n = dsyb.n_instants // 2
+        # Screen series with the lenient thresholds (the pair passes)...
+        report = screen_correlated_series(dsyb, _params(), n)
+        assert report.correlated_pairs
+        # ...then demand many seasons at the event level: the rare symbol
+        # 'c' cannot be certified by the retained correlation.
+        strict = MiningParams(
+            max_period=3, min_density=2, dist_interval=(0, 40), min_season=40
+        )
+        kept = screen_events(dsyb, strict, n, report)
+        assert "X:c" not in kept
+        assert "Y:c" not in kept
+
+
+class TestEventLevelMining:
+    def test_subset_of_plain_astpm(self):
+        dsyb = _skewed_pair_db()
+        params = _params()
+        dseq = build_sequence_database(dsyb, 2)
+        plain = ASTPM(dsyb, 2, params, dseq=dseq).mine()
+        extended = ASTPM(dsyb, 2, params, dseq=dseq, event_level=True).mine()
+        assert extended.pattern_keys() <= plain.pattern_keys()
+
+    def test_subset_of_exact(self):
+        dsyb = _skewed_pair_db()
+        params = _params()
+        dseq = build_sequence_database(dsyb, 2)
+        exact = ESTPM(dseq, params).mine()
+        extended = ASTPM(dsyb, 2, params, dseq=dseq, event_level=True).mine()
+        assert extended.pattern_keys() <= exact.pattern_keys()
+
+    def test_event_filter_counted_in_stats(self):
+        dsyb = _skewed_pair_db()
+        params = MiningParams(
+            max_period=3, min_density=2, dist_interval=(0, 40), min_season=40
+        )
+        dseq = build_sequence_database(dsyb, 2)
+        extended = ASTPM(dsyb, 2, params, dseq=dseq, event_level=True).mine()
+        plain = ASTPM(dsyb, 2, params, dseq=dseq).mine()
+        assert extended.stats.n_events_pruned >= plain.stats.n_events_pruned
+
+
+class TestEventFilterInESTPM:
+    def test_filter_restricts_single_events(self, paper_dseq, paper_params):
+        restricted = ESTPM(
+            paper_dseq, paper_params, event_filter={"C:1", "D:1"}
+        ).mine()
+        for sp in restricted.patterns:
+            assert set(sp.pattern.events) <= {"C:1", "D:1"}
+        assert restricted.stats.n_events_pruned == 8

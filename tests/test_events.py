@@ -1,0 +1,63 @@
+"""Unit tests for temporal events and instances (paper Def. 3.7)."""
+
+import pytest
+
+from repro.events import EventInstance, TemporalEvent
+from repro.events.event import extract_event
+from repro.exceptions import ReproError
+
+
+class TestEventInstance:
+    def test_duration_is_inclusive(self):
+        assert EventInstance("C:1", 1, 2).duration == 2
+        assert EventInstance("C:1", 4, 4).duration == 1
+
+    def test_sort_key_orders_chronologically(self):
+        a = EventInstance("A:1", 1, 3)
+        b = EventInstance("B:1", 2, 2)
+        assert a.sort_key() < b.sort_key()
+
+    def test_sort_key_puts_container_first_on_tied_starts(self):
+        longer = EventInstance("A:1", 1, 5)
+        shorter = EventInstance("B:1", 1, 2)
+        assert longer.sort_key() < shorter.sort_key()
+
+    def test_describe_matches_paper_notation(self):
+        assert EventInstance("C:1", 1, 2).describe() == "(C:1,[G1,G2])"
+
+
+class TestTemporalEvent:
+    def test_paper_example_event(self):
+        # E = (C:1, {[G1,G2],[G4,G4],[G7,G8],[G19,G24],[G31,G31],[G34,G35],[G40,G41]})
+        event = extract_event("C", tuple("110100110000000000111111000000100110000110"), "1")
+        assert event.event == "C:1"
+        assert event.intervals == (
+            (1, 2), (4, 4), (7, 8), (19, 24), (31, 31), (34, 35), (40, 41),
+        )
+
+    def test_series_and_symbol_split(self):
+        event = TemporalEvent("Temp:High", ((1, 2),))
+        assert event.series == "Temp"
+        assert event.symbol == "High"
+
+    def test_instances(self):
+        event = TemporalEvent("C:1", ((1, 2), (5, 6)))
+        instances = event.instances()
+        assert len(event) == 2
+        assert instances[0] == EventInstance("C:1", 1, 2)
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ReproError):
+            TemporalEvent("C:1", ((1, 3), (2, 5)))
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ReproError):
+            TemporalEvent("C:1", ((3, 1),))
+
+    def test_extract_event_handles_trailing_run(self):
+        event = extract_event("X", ("1", "0", "1", "1"), "1")
+        assert event.intervals == ((1, 1), (3, 4))
+
+    def test_extract_event_absent_symbol(self):
+        event = extract_event("X", ("0", "0"), "1")
+        assert event.intervals == ()

@@ -1,0 +1,56 @@
+"""Smoke tests: the runnable examples execute cleanly.
+
+The two fast examples run end-to-end as subprocesses (their internal
+assertions double as checks); the slower dataset-driven examples are
+compile- and import-checked so a broken API surface fails the suite
+without multi-minute mining runs.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py", "custom_data.py"]
+
+
+def test_every_expected_example_exists():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {
+        "quickstart.py",
+        "custom_data.py",
+        "energy_seasonality.py",
+        "influenza_surveillance.py",
+        "traffic_incidents.py",
+        "advanced_workflow.py",
+    } <= names
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_package_doctest():
+    import doctest
+
+    import repro
+
+    failures, _ = doctest.testmod(repro, verbose=False)
+    assert failures == 0

@@ -1,0 +1,157 @@
+"""Unit tests for the time granularity model (paper Defs. 3.1-3.4)."""
+
+import pytest
+
+from repro.exceptions import GranularityError
+from repro.granularity import Granularity, GranularityHierarchy, Granule, TimeDomain
+
+
+class TestTimeDomain:
+    def test_length_and_membership(self):
+        domain = TimeDomain(42, unit="5min")
+        assert len(domain) == 42
+        assert 0 in domain
+        assert 41 in domain
+        assert 42 not in domain
+        assert -1 not in domain
+
+    def test_instants_range(self):
+        domain = TimeDomain(5)
+        assert list(domain.instants()) == [0, 1, 2, 3, 4]
+
+    def test_label(self):
+        domain = TimeDomain(3, unit="minute", origin="2020-01-01")
+        assert "minute[2]" in domain.label(2)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(GranularityError):
+            TimeDomain(3).label(3)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(GranularityError):
+            TimeDomain(0)
+
+
+class TestGranule:
+    def test_width(self):
+        granule = Granule(position=2, start=3, end=5)
+        assert len(granule) == 3
+        assert list(granule.instants()) == [3, 4, 5]
+
+    def test_zero_based_position_rejected(self):
+        with pytest.raises(GranularityError):
+            Granule(position=0, start=0, end=1)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(GranularityError):
+            Granule(position=1, start=5, end=3)
+
+
+class TestGranularity:
+    def test_paper_example_positions(self):
+        # Minute granularity: position of Minute2 is 2; period between
+        # Minute1 and Minute6 is 5 (paper Sec. III-A).
+        domain = TimeDomain(10, unit="minute")
+        minutes = Granularity(domain, 1, "Minute")
+        assert minutes.granule(2).position == 2
+        assert minutes.period(1, 6) == 5
+        assert minutes.period(6, 1) == 5
+
+    def test_partition_drops_trailing_partial_granule(self):
+        domain = TimeDomain(10)
+        coarse = Granularity(domain, 3, "H")
+        assert coarse.n_granules == 3  # instant 9 is dropped
+
+    def test_granule_instants(self):
+        domain = TimeDomain(9)
+        coarse = Granularity(domain, 3)
+        assert list(coarse.granule(1).instants()) == [0, 1, 2]
+        assert list(coarse.granule(3).instants()) == [6, 7, 8]
+
+    def test_position_of_instant(self):
+        domain = TimeDomain(9)
+        coarse = Granularity(domain, 3)
+        assert coarse.position_of_instant(0) == 1
+        assert coarse.position_of_instant(5) == 2
+        assert coarse.position_of_instant(8) == 3
+
+    def test_position_of_instant_in_dropped_tail_raises(self):
+        domain = TimeDomain(10)
+        coarse = Granularity(domain, 3)
+        with pytest.raises(GranularityError):
+            coarse.position_of_instant(9)
+
+    def test_finer_relation(self):
+        # 5-Minutes is 3-Finer than 15-Minutes (paper Fig. 2).
+        domain = TimeDomain(42)
+        fine = Granularity(domain, 1, "5-Minutes")
+        coarse = Granularity(domain, 3, "15-Minutes")
+        assert fine.is_finer_than(coarse)
+        assert fine.finer_ratio(coarse) == 3
+        assert not coarse.is_finer_than(fine) or coarse.finer_ratio(fine) == 0
+
+    def test_not_finer_when_not_dividing(self):
+        domain = TimeDomain(42)
+        two = Granularity(domain, 2)
+        three = Granularity(domain, 3)
+        assert not two.is_finer_than(three)
+        with pytest.raises(GranularityError):
+            two.finer_ratio(three)
+
+    def test_invalid_widths_rejected(self):
+        domain = TimeDomain(5)
+        with pytest.raises(GranularityError):
+            Granularity(domain, 0)
+        with pytest.raises(GranularityError):
+            Granularity(domain, 6)
+
+    def test_period_validates_positions(self):
+        domain = TimeDomain(9)
+        coarse = Granularity(domain, 3)
+        with pytest.raises(GranularityError):
+            coarse.period(0, 2)
+        with pytest.raises(GranularityError):
+            coarse.period(1, 4)
+
+
+class TestGranularityHierarchy:
+    def test_paper_fig2_chain(self):
+        # 5-Minutes -> 15-Minutes -> 30-Minutes.
+        domain = TimeDomain(60)
+        hierarchy = GranularityHierarchy.from_widths(
+            domain, [1, 3, 6], ["5-Minutes", "15-Minutes", "30-Minutes"]
+        )
+        assert len(hierarchy) == 3
+        assert hierarchy.finest.name == "5-Minutes"
+        assert hierarchy.ratio(0, 1) == 3
+        assert hierarchy.ratio(1, 2) == 2
+        assert hierarchy.ratio(0, 2) == 6
+
+    def test_by_name(self):
+        domain = TimeDomain(60)
+        hierarchy = GranularityHierarchy.from_widths(domain, [1, 2], ["a", "b"])
+        assert hierarchy.by_name("b").instants_per_granule == 2
+        with pytest.raises(GranularityError):
+            hierarchy.by_name("zzz")
+
+    def test_non_dividing_level_rejected(self):
+        domain = TimeDomain(60)
+        with pytest.raises(GranularityError):
+            GranularityHierarchy.from_widths(domain, [2, 3])
+
+    def test_mixed_domain_rejected(self):
+        hierarchy = GranularityHierarchy.from_widths(TimeDomain(60), [1])
+        with pytest.raises(GranularityError):
+            hierarchy.add_level(Granularity(TimeDomain(30), 2))
+
+    def test_iteration_and_level_bounds(self):
+        hierarchy = GranularityHierarchy.from_widths(TimeDomain(12), [1, 4])
+        assert [g.instants_per_granule for g in hierarchy] == [1, 4]
+        with pytest.raises(GranularityError):
+            hierarchy.level(5)
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(GranularityError):
+            GranularityHierarchy.from_widths(TimeDomain(5), [])
+        with pytest.raises(GranularityError):
+            GranularityHierarchy(TimeDomain(5)).finest

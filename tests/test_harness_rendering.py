@@ -1,0 +1,63 @@
+"""Edge-case tests for table/figure rendering and dataset container."""
+
+import pytest
+
+from repro.datasets.dataset import Dataset, symbolize
+from repro.exceptions import DatasetError
+from repro.harness.figures import Figure
+from repro.harness.tables import Table
+
+
+class TestTableEdges:
+    def test_empty_table_renders_headers(self):
+        table = Table("Empty", ["a", "b"])
+        text = table.render()
+        assert "Empty" in text and "a" in text
+
+    def test_short_rows_padded(self):
+        table = Table("T", ["a", "b", "c"])
+        table.rows.append(["1"])  # deliberately short
+        assert table.render().count("|") >= 4
+
+    def test_float_formatting(self):
+        table = Table("T", ["x"])
+        table.add_row(1.23456)
+        assert "1.23" in table.render()
+
+
+class TestFigureEdges:
+    def test_all_zero_values_skip_bars(self):
+        figure = Figure("F", x_label="x", x_values=[1], y_label="y")
+        figure.add_series("A", [0.0])
+        text = figure.render()
+        assert "#" not in text
+
+    def test_notes_rendered(self):
+        figure = Figure("F", x_label="x", x_values=[1], notes="hello note")
+        figure.add_series("A", [1.0])
+        assert "hello note" in figure.render()
+
+    def test_bar_lengths_proportional(self):
+        figure = Figure("F", x_label="x", x_values=[1])
+        figure.add_series("slow", [4.0])
+        figure.add_series("fast", [1.0])
+        lines = figure.render().splitlines()
+        slow_bar = next(l for l in lines if l.strip().startswith("slow"))
+        fast_bar = next(l for l in lines if l.strip().startswith("fast"))
+        assert slow_bar.count("#") > fast_bar.count("#")
+
+
+class TestDatasetContainer:
+    def test_symbolize_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            symbolize("X", {}, {}, 1, (0, 1), "none")
+
+    def test_dseq_is_cached(self, tiny_re):
+        assert tiny_re.dseq() is tiny_re.dseq()
+
+    def test_n_events_counts_occurring_events(self, tiny_re):
+        assert tiny_re.n_events == len(tiny_re.dseq().events())
+
+    def test_sequence_units(self, tiny_re, tiny_inf):
+        assert tiny_re.sequence_unit == "day"
+        assert tiny_inf.sequence_unit == "week"

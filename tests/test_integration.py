@@ -1,0 +1,93 @@
+"""End-to-end integration tests: raw signals -> symbolization -> DSEQ ->
+mining -> harness reporting."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ASTPM,
+    ESTPM,
+    Alphabet,
+    QuantileMapper,
+    SymbolicDatabase,
+    TimeSeries,
+    build_sequence_database,
+)
+from repro.baselines import APSGrowth
+from repro.datasets import load_dataset
+from repro.datasets.synthetic import lagged_response, noisy, seasonal_pulses
+from repro.harness import run_experiment
+from repro.metrics import accuracy_pct
+
+
+class TestFullPipelineFromRawSignals:
+    def test_planted_seasonal_pattern_is_found(self):
+        # Plant a "driver -> response" seasonal coupling and verify the
+        # expected 2-event pattern surfaces with the right seasonality.
+        rng = np.random.default_rng(0)
+        n_days, per_day = 240, 4
+        n = n_days * per_day
+        driver = seasonal_pulses(n, period=40 * per_day, center_frac=0.5,
+                                 width_frac=0.06, height=10.0)
+        driver = noisy(rng, driver, 0.05)
+        response = lagged_response(driver, lag=0, gain=3.0, bias=1.0)
+        alphabet = Alphabet.levels(["Low", "High"])
+        dsyb = SymbolicDatabase.from_raw(
+            [
+                TimeSeries.from_array("Driver", driver),
+                TimeSeries.from_array("Response", response),
+            ],
+            QuantileMapper(alphabet),
+        )
+        dseq = build_sequence_database(dsyb, ratio=per_day)
+        params = __import__("repro").MiningParams(
+            max_period=3, min_density=2, dist_interval=(10, 50), min_season=3
+        )
+        result = ESTPM(dseq, params).mine()
+        coupled = [
+            sp
+            for sp in result.by_size(2)
+            if set(sp.pattern.events) == {"Driver:High", "Response:High"}
+        ]
+        assert coupled, "the planted coupling must be mined"
+        assert max(sp.n_seasons for sp in coupled) >= 4
+
+    def test_all_miners_agree_on_tiny_dataset(self, tiny_inf):
+        params = tiny_inf.params(
+            min_season=2, max_period_pct=1.0, min_density_pct=1.0
+        ).with_updates(max_pattern_length=2)
+        dseq = tiny_inf.dseq()
+        exact = ESTPM(dseq, params).mine()
+        baseline = APSGrowth(dseq, params).mine()
+        approx = ASTPM(tiny_inf.dsyb, tiny_inf.ratio, params, dseq=dseq).mine()
+        assert baseline.pattern_keys() == exact.pattern_keys()
+        assert approx.pattern_keys() <= exact.pattern_keys()
+        assert 0.0 <= accuracy_pct(exact, approx) <= 100.0
+
+    def test_dataset_mining_produces_domain_patterns(self, tiny_re):
+        params = tiny_re.params(min_season=2, max_period_pct=1.0, min_density_pct=0.5)
+        result = ESTPM(tiny_re.dseq(), params).mine()
+        assert len(result) > 0
+        events = {e for sp in result.patterns for e in sp.pattern.events}
+        assert any(e.startswith("WindSpeed") or e.startswith("Temperature") for e in events)
+
+
+class TestHarnessEndToEnd:
+    def test_t8_qualitative_on_tiny_profile(self):
+        table = run_experiment("T8", profile="tiny", datasets=("RE",), per_dataset=2)
+        assert "Table VIII" in table.render()
+
+    def test_t9_counts_shape_on_tiny_profile(self):
+        table = run_experiment(
+            "T9",
+            profile="tiny",
+            max_period_pcts=(0.5, 1.0),
+            grid=((2, 0.5), (3, 0.5)),
+        )
+        # Counts fall (or stay) as minSeason rises -- the paper's Table IX
+        # shape.  (The maxPeriod direction is only stable at bench scale;
+        # EXPERIMENTS.md reports it there.)
+        rows = [[int(c) for c in row[1:]] for row in table.rows]
+        for row in rows:
+            assert row[0] >= row[1]
+            assert row[0] > 0

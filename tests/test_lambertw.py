@@ -1,0 +1,62 @@
+"""Unit tests for the Lambert W implementation (validated against scipy)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import lambertw as scipy_lambertw
+
+from repro.core.lambertw import BRANCH_POINT, lambert_w0, lambert_w_minus1
+from repro.exceptions import MiningError
+
+
+class TestPrincipalBranch:
+    @pytest.mark.parametrize(
+        "x", [-0.36, -0.3, -0.1, -1e-6, 0.0, 1e-6, 0.5, 1.0, math.e, 10.0, 1e4]
+    )
+    def test_matches_scipy(self, x):
+        assert lambert_w0(x) == pytest.approx(
+            float(scipy_lambertw(x, 0).real), abs=1e-10
+        )
+
+    @pytest.mark.parametrize("x", [-0.3, 0.5, 3.0, 100.0])
+    def test_inverse_identity(self, x):
+        w = lambert_w0(x)
+        assert w * math.exp(w) == pytest.approx(x, rel=1e-10)
+
+    def test_branch_point(self):
+        assert lambert_w0(BRANCH_POINT) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_below_branch_point_rejected(self):
+        with pytest.raises(MiningError):
+            lambert_w0(-1.0)
+
+
+class TestSecondaryBranch:
+    @pytest.mark.parametrize("x", [-0.36, -0.25, -0.1, -0.01, -1e-4])
+    def test_matches_scipy(self, x):
+        assert lambert_w_minus1(x) == pytest.approx(
+            float(scipy_lambertw(x, -1).real), rel=1e-8
+        )
+
+    @pytest.mark.parametrize("x", [-0.3, -0.05, -0.001])
+    def test_inverse_identity(self, x):
+        w = lambert_w_minus1(x)
+        assert w * math.exp(w) == pytest.approx(x, rel=1e-8)
+
+    def test_domain_enforced(self):
+        with pytest.raises(MiningError):
+            lambert_w_minus1(0.1)
+        with pytest.raises(MiningError):
+            lambert_w_minus1(-1.0)
+
+
+class TestGridAgainstScipy:
+    def test_dense_grid_principal(self):
+        xs = np.concatenate(
+            [np.linspace(BRANCH_POINT + 1e-9, 0.0, 100), np.linspace(0.0, 50.0, 100)]
+        )
+        for x in xs:
+            assert lambert_w0(float(x)) == pytest.approx(
+                float(scipy_lambertw(float(x), 0).real), abs=1e-8
+            )

@@ -1,0 +1,81 @@
+"""Unit tests for the measurement utilities."""
+
+import pytest
+
+from repro import ESTPM
+from repro.core.results import MiningResult, MiningStats
+from repro.metrics import accuracy_pct, measure_peak_memory, pattern_set_overlap, time_call
+
+
+def _result_with(patterns):
+    from repro.core.pattern import single_event_pattern
+    from repro.core.results import SeasonalPattern
+    from repro.core.seasonality import SeasonView
+
+    view = SeasonView(support=(1,), near_sets=((1,),), seasons=((1,),))
+    return MiningResult(
+        patterns=[SeasonalPattern(single_event_pattern(e), view) for e in patterns],
+        stats=MiningStats(),
+    )
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(lambda: 21 * 2)
+        assert result == 42
+        assert elapsed >= 0.0
+
+
+class TestPeakMemory:
+    def test_measures_allocation(self):
+        result, peak = measure_peak_memory(lambda: [0] * 200_000)
+        assert len(result) == 200_000
+        assert peak > 200_000 * 4  # a list of ints is at least this big
+
+    def test_nesting_rejected(self):
+        def nested():
+            return measure_peak_memory(lambda: 1)
+
+        with pytest.raises(RuntimeError):
+            measure_peak_memory(nested)
+
+    def test_stops_tracing_on_error(self):
+        import tracemalloc
+
+        def boom():
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            measure_peak_memory(boom)
+        assert not tracemalloc.is_tracing()
+
+
+class TestAccuracy:
+    def test_full_recall(self):
+        exact = _result_with(["A:1", "B:1"])
+        approx = _result_with(["A:1", "B:1"])
+        assert accuracy_pct(exact, approx) == 100.0
+
+    def test_partial_recall(self):
+        exact = _result_with(["A:1", "B:1", "C:1", "D:1"])
+        approx = _result_with(["A:1", "B:1", "C:1"])
+        assert accuracy_pct(exact, approx) == 75.0
+        assert pattern_set_overlap(exact, approx) == (3, 4)
+
+    def test_empty_exact_counts_as_perfect(self):
+        assert accuracy_pct(_result_with([]), _result_with([])) == 100.0
+
+    def test_on_real_mining_results(self, paper_dseq, paper_params):
+        exact = ESTPM(paper_dseq, paper_params).mine()
+        assert accuracy_pct(exact, exact) == 100.0
+
+
+class TestResultHelpers:
+    def test_by_size_and_describe(self, paper_dseq, paper_params):
+        result = ESTPM(paper_dseq, paper_params).mine()
+        assert len(result.by_size(1)) + len(result.by_size(2)) + len(
+            result.by_size(3)
+        ) == len(result)
+        text = result.describe(limit=5)
+        assert "more" in text or len(result) <= 5
+        assert result.multi_event_keys() <= result.pattern_keys()

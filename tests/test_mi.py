@@ -1,0 +1,119 @@
+"""Unit tests for entropy / mutual information (paper Defs. 5.1-5.3)."""
+
+import math
+
+import pytest
+
+from repro import (
+    SymbolicDatabase,
+    conditional_entropy,
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.core.mi import joint_probabilities, min_pairwise_nmi
+from repro.exceptions import MiningError
+from repro.symbolic import Alphabet, SymbolicSeries
+
+
+def _series(name, symbols):
+    return SymbolicSeries(name, tuple(symbols), Alphabet.binary())
+
+
+class TestEntropy:
+    def test_fair_coin_is_one_bit(self):
+        assert entropy(_series("X", "0101")) == pytest.approx(1.0)
+
+    def test_constant_series_is_zero(self):
+        assert entropy(_series("X", "1111")) == 0.0
+
+    def test_biased_series(self):
+        # H(0.25) = 0.8113 bits.
+        assert entropy(_series("X", "0111")) == pytest.approx(0.8113, abs=1e-4)
+
+
+class TestJointAndConditional:
+    def test_joint_probabilities(self):
+        x = _series("X", "0011")
+        y = _series("Y", "0101")
+        joint = joint_probabilities(x, y)
+        assert joint == {
+            ("0", "0"): 0.25, ("0", "1"): 0.25, ("1", "0"): 0.25, ("1", "1"): 0.25,
+        }
+
+    def test_alignment_enforced(self):
+        with pytest.raises(MiningError):
+            joint_probabilities(_series("X", "01"), _series("Y", "010"))
+
+    def test_conditional_entropy_of_identical_series_is_zero(self):
+        x = _series("X", "0101")
+        assert conditional_entropy(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_conditional_entropy_of_independent_series(self):
+        x = _series("X", "0011")
+        y = _series("Y", "0101")
+        assert conditional_entropy(x, y) == pytest.approx(1.0)
+
+    def test_chain_rule(self):
+        # I(X;Y) = H(X) - H(X|Y).
+        x = _series("X", "00110110")
+        y = _series("Y", "01010011")
+        assert mutual_information(x, y) == pytest.approx(
+            entropy(x) - conditional_entropy(x, y), abs=1e-12
+        )
+
+
+class TestMutualInformation:
+    def test_identical_series(self):
+        x = _series("X", "0101")
+        assert mutual_information(x, x) == pytest.approx(1.0)
+
+    def test_independent_series(self):
+        x = _series("X", "0011")
+        y = _series("Y", "0101")
+        assert mutual_information(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        x = _series("X", "00110101")
+        y = _series("Y", "01010011")
+        assert mutual_information(x, y) == pytest.approx(mutual_information(y, x))
+
+    def test_bounded_by_min_entropy(self):
+        x = _series("X", "00110101")
+        y = _series("Y", "01110111")
+        assert mutual_information(x, y) <= min(entropy(x), entropy(y)) + 1e-12
+
+
+class TestNormalizedMI:
+    def test_perfect_dependency_is_one(self):
+        x = _series("X", "0101")
+        assert normalized_mutual_information(x, x) == 1.0
+
+    def test_asymmetry(self):
+        # Y determines X but not vice versa when Y is a refinement of X.
+        alphabet4 = Alphabet(("a", "b", "c", "d"))
+        y = SymbolicSeries("Y", tuple("abcd"), alphabet4)
+        x = _series("X", "0011")
+        nmi_xy = normalized_mutual_information(x, y)  # knowing Y removes all of X
+        nmi_yx = normalized_mutual_information(y, x)
+        assert nmi_xy == pytest.approx(1.0)
+        assert nmi_yx == pytest.approx(0.5)
+
+    def test_constant_series_defined_as_zero(self):
+        constant = _series("X", "1111")
+        other = _series("Y", "0101")
+        assert normalized_mutual_information(constant, other) == 0.0
+
+    def test_min_pairwise(self):
+        x = _series("X", "0011")
+        y = _series("Y", "0101")
+        assert min_pairwise_nmi(x, y) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestOnPaperExample:
+    def test_all_pairs_have_valid_nmi(self, paper_dsyb):
+        names = paper_dsyb.names
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                value = normalized_mutual_information(paper_dsyb[a], paper_dsyb[b])
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for multi-granularity mining (paper contribution (1))."""
+
+import pytest
+
+from repro import ESTPM, MultiGranularityMiner, SymbolicDatabase
+from repro.exceptions import ConfigError
+
+
+@pytest.fixture(scope="module")
+def dsyb():
+    # 15 repetitions of a 12-granule motif: seasonal at several scales.
+    return SymbolicDatabase.from_rows(
+        {"A": "111000110000" * 15, "B": "110000111000" * 15}
+    )
+
+
+class TestLevelMining:
+    def test_levels_are_mined_finest_first(self, dsyb):
+        miner = MultiGranularityMiner(
+            dsyb, ratios=[6, 3], dist_interval=(0, 120), min_season=2
+        )
+        levels = miner.mine_all()
+        assert [level.ratio for level in levels] == [3, 6]
+        assert levels[0].n_sequences == 60
+        assert levels[1].n_sequences == 30
+
+    def test_params_resolved_per_level(self, dsyb):
+        miner = MultiGranularityMiner(
+            dsyb, ratios=[3, 6], max_period_pct=5.0, min_density_pct=5.0,
+            dist_interval=(6, 60), min_season=2,
+        )
+        levels = miner.mine_all()
+        by_ratio = {level.ratio: level.params for level in levels}
+        assert by_ratio[3].max_period == 3  # ceil(60 * 5%)
+        assert by_ratio[6].max_period == 2  # ceil(30 * 5%)
+        assert by_ratio[3].dist_interval == (2, 20)
+        assert by_ratio[6].dist_interval == (1, 10)
+
+    def test_each_level_matches_direct_mining(self, dsyb):
+        miner = MultiGranularityMiner(
+            dsyb, ratios=[3], dist_interval=(0, 120), min_season=2
+        )
+        level = miner.mine_all()[0]
+        from repro.transform import build_sequence_database
+
+        direct = ESTPM(build_sequence_database(dsyb, 3), level.params).mine()
+        assert level.result.pattern_keys() == direct.pattern_keys()
+
+    def test_coarser_levels_find_patterns_too(self, dsyb):
+        miner = MultiGranularityMiner(
+            dsyb, ratios=[3, 6, 12], dist_interval=(0, 600), min_season=1
+        )
+        levels = miner.mine_all()
+        assert all(len(level.result) > 0 for level in levels)
+
+
+class TestValidation:
+    def test_empty_ratios_rejected(self, dsyb):
+        with pytest.raises(ConfigError):
+            MultiGranularityMiner(dsyb, ratios=[])
+
+    def test_duplicate_ratios_rejected(self, dsyb):
+        with pytest.raises(ConfigError):
+            MultiGranularityMiner(dsyb, ratios=[3, 3])
+
+    def test_too_coarse_ratio_rejected(self, dsyb):
+        miner = MultiGranularityMiner(dsyb, ratios=[100], min_season=1)
+        with pytest.raises(ConfigError):
+            miner.mine_all()

@@ -1,0 +1,79 @@
+"""Checks of the paper's analytical claims on concrete data.
+
+These tests pin the quantitative statements of Secs. IV-V to the running
+example and to random inputs: search-space counting, the anti-monotone
+behaviour of maxSeason along pattern extensions, and the lossless-ness of
+the candidate gates.
+"""
+
+import pytest
+
+from repro import ESTPM, PruningConfig
+from repro.core.seasonality import max_season
+
+
+class TestSearchSpaceCounting:
+    def test_two_event_group_count_matches_analysis(self, paper_dseq, paper_params):
+        # N2 = P(n,2) + n over the candidate events (Appendix E): with the
+        # 8 candidates of Fig. 6, the Cartesian step enumerates
+        # C(8,2) + 8 = 36 unordered groups (self-pairs included).
+        result = ESTPM(paper_dseq, paper_params).mine()
+        assert result.stats.n_groups_generated[2] == 36
+
+    def test_pattern_count_bounded_by_3_relations_per_group(
+        self, paper_dseq, paper_params
+    ):
+        # Each 2-event group admits at most 3 relations per event order;
+        # candidate 2-event patterns can never exceed 2 * 3 * N2.
+        result = ESTPM(paper_dseq, paper_params).mine()
+        n_groups = result.stats.n_groups_generated[2]
+        assert result.stats.n_candidate_patterns[2] <= 6 * n_groups
+
+
+class TestMaxSeasonAntiMonotonicity:
+    def test_lemma2_along_real_patterns(self, paper_dseq, paper_params):
+        # maxSeason(P) <= maxSeason of each of its events (Lemma 2).
+        result = ESTPM(paper_dseq, paper_params).mine()
+        event_support = paper_dseq.event_support()
+        for sp in result.patterns:
+            pattern_ms = max_season(len(sp.support), paper_params.min_density)
+            for event in sp.pattern.events:
+                event_ms = max_season(
+                    len(event_support[event]), paper_params.min_density
+                )
+                assert pattern_ms <= event_ms + 1e-12
+
+    def test_lemma1_along_subpatterns(self, paper_dseq, paper_params):
+        # For frequent P' ⊆ P found in the same run, |SUP_P'| >= |SUP_P|.
+        result = ESTPM(paper_dseq, paper_params).mine()
+        multi = [sp for sp in result.patterns if sp.size >= 2]
+        for small in multi:
+            for big in multi:
+                if small.size < big.size and small.pattern.is_subpattern_of(
+                    big.pattern
+                ):
+                    assert len(small.support) >= len(big.support)
+
+
+class TestSupportMeaning:
+    def test_pattern_support_within_event_support_intersection(
+        self, paper_dseq, paper_params
+    ):
+        result = ESTPM(paper_dseq, paper_params).mine()
+        event_support = paper_dseq.event_support()
+        for sp in result.patterns:
+            if sp.size < 2:
+                continue
+            common = set(event_support[sp.pattern.events[0]])
+            for event in sp.pattern.events[1:]:
+                common &= set(event_support[event])
+            assert set(sp.support) <= common
+
+
+class TestCandidateGateIsLossless:
+    @pytest.mark.parametrize("min_season", [1, 2, 3])
+    def test_gate_never_changes_output(self, paper_dseq, paper_params, min_season):
+        params = paper_params.with_updates(min_season=min_season)
+        gated = ESTPM(paper_dseq, params, PruningConfig.apriori_only()).mine()
+        ungated = ESTPM(paper_dseq, params, PruningConfig.none()).mine()
+        assert gated.pattern_keys() == ungated.pattern_keys()

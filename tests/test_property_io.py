@@ -1,0 +1,73 @@
+"""Property-based tests for serialization round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pattern import TemporalPattern, Triple, pattern_from_instances
+from repro.core.results import MiningResult, MiningStats, SeasonalPattern
+from repro.core.seasonality import SeasonView
+from repro.events import EventInstance, RelationConfig
+from repro.io import load_csv_series, result_from_json, result_to_json, save_csv_series
+from repro.symbolic import TimeSeries
+
+events = st.sampled_from(["A:1", "B:0", "Sensor:High", "X:c"])
+
+
+@st.composite
+def seasonal_patterns(draw):
+    # Build a realizable pattern from random instances.
+    n = draw(st.integers(1, 4))
+    instances = []
+    cursor = 1
+    for _ in range(n):
+        start = cursor + draw(st.integers(0, 3))
+        end = start + draw(st.integers(0, 4))
+        instances.append(EventInstance(draw(events), start, end))
+        cursor = start + 1
+    pattern = pattern_from_instances(instances, RelationConfig())
+    if pattern is None:
+        pattern = TemporalPattern((instances[0].event,), ())
+    support = tuple(sorted(draw(st.sets(st.integers(1, 50), min_size=1, max_size=8))))
+    return SeasonalPattern(
+        pattern,
+        SeasonView(support=support, near_sets=(support,), seasons=(support,)),
+    )
+
+
+@given(st.lists(seasonal_patterns(), max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_result_json_roundtrip(patterns):
+    result = MiningResult(patterns=patterns, stats=MiningStats(n_granules=50))
+    restored = result_from_json(result_to_json(result))
+    assert restored.pattern_keys() == result.pattern_keys()
+    assert len(restored) == len(result)
+    for original, loaded in zip(result.patterns, restored.patterns):
+        assert loaded.pattern == original.pattern
+        assert loaded.support == original.support
+        assert loaded.seasons == original.seasons
+
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    st.lists(
+        st.lists(finite_floats, min_size=1, max_size=10),
+        min_size=1,
+        max_size=4,
+    ).filter(lambda cols: len({len(c) for c in cols}) == 1)
+)
+@settings(max_examples=60, deadline=None)
+def test_csv_roundtrip(tmp_path_factory, columns):
+    path = tmp_path_factory.mktemp("csv") / "data.csv"
+    series = [
+        TimeSeries(f"S{i}", tuple(column)) for i, column in enumerate(columns)
+    ]
+    save_csv_series(series, path)
+    loaded = load_csv_series(path)
+    assert [s.name for s in loaded] == [s.name for s in series]
+    for original, restored in zip(series, loaded):
+        for a, b in zip(original.values, restored.values):
+            assert abs(a - b) <= 1e-9 * max(1.0, abs(a))

@@ -1,0 +1,95 @@
+"""Property-based tests for the information-theoretic layer (Sec. V-A)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import mu_threshold
+from repro.core.lambertw import BRANCH_POINT, lambert_w0, lambert_w_minus1
+from repro.core.mi import (
+    conditional_entropy,
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.symbolic import Alphabet, SymbolicSeries
+
+ALPHABET = Alphabet(("a", "b", "c"))
+
+
+def _series_pair(draw_symbols):
+    n = len(draw_symbols) // 2
+    x = SymbolicSeries("X", tuple(draw_symbols[:n]), ALPHABET)
+    y = SymbolicSeries("Y", tuple(draw_symbols[n:]), ALPHABET)
+    return x, y
+
+symbol_lists = st.lists(
+    st.sampled_from(["a", "b", "c"]), min_size=4, max_size=60
+).filter(lambda s: len(s) % 2 == 0)
+
+
+@given(symbol_lists)
+def test_entropy_bounds(symbols):
+    series = SymbolicSeries("X", tuple(symbols), ALPHABET)
+    assert 0.0 <= entropy(series) <= math.log2(len(ALPHABET)) + 1e-12
+
+
+@given(symbol_lists)
+def test_mi_properties(symbols):
+    x, y = _series_pair(symbols)
+    mi_xy = mutual_information(x, y)
+    assert mi_xy >= 0.0
+    assert mi_xy == mutual_information(y, x)  # symmetric by definition
+    assert mi_xy <= min(entropy(x), entropy(y)) + 1e-9
+
+
+@given(symbol_lists)
+def test_chain_rule(symbols):
+    x, y = _series_pair(symbols)
+    assert mutual_information(x, y) == entropy(x) - conditional_entropy(x, y) or abs(
+        mutual_information(x, y) - (entropy(x) - conditional_entropy(x, y))
+    ) < 1e-9
+
+
+@given(symbol_lists)
+def test_nmi_in_unit_interval(symbols):
+    x, y = _series_pair(symbols)
+    assert 0.0 <= normalized_mutual_information(x, y) <= 1.0
+
+
+@given(symbol_lists)
+def test_self_nmi_is_one_unless_constant(symbols):
+    x, _ = _series_pair(symbols)
+    value = normalized_mutual_information(x, x)
+    if entropy(x) == 0.0:
+        assert value == 0.0
+    else:
+        assert value >= 1.0 - 1e-9
+
+
+@given(
+    st.floats(0.01, 0.99),
+    st.floats(0.01, 1.0),
+    st.integers(1, 30),
+    st.integers(1, 10),
+    st.integers(10, 2000),
+)
+@settings(max_examples=300)
+def test_mu_threshold_in_unit_interval(lambda1, lambda2, min_season, min_density, n):
+    assert 0.0 <= mu_threshold(lambda1, lambda2, min_season, min_density, n) <= 1.0
+
+
+@given(st.floats(BRANCH_POINT + 1e-9, 100.0))
+@settings(max_examples=300)
+def test_lambert_w0_inverse_identity(x):
+    w = lambert_w0(x)
+    assert abs(w * math.exp(w) - x) <= 1e-6 * max(1.0, abs(x))
+
+
+@given(st.floats(BRANCH_POINT + 1e-9, -1e-9))
+@settings(max_examples=300)
+def test_lambert_w_minus1_inverse_identity(x):
+    w = lambert_w_minus1(x)
+    assert abs(w * math.exp(w) - x) <= 1e-6
+    assert w <= -1.0 + 1e-9  # secondary branch stays below -1

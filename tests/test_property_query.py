@@ -1,0 +1,60 @@
+"""Property-based tests for the query API (plus pruning-config labels)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ESTPM, PatternQuery
+from repro.core.prune import ALL_VARIANTS, PruningConfig
+
+
+@pytest.fixture(scope="module")
+def paper_result(paper_dseq, paper_params):
+    return ESTPM(paper_dseq, paper_params).mine()
+
+
+class TestPruningConfigLabels:
+    def test_labels(self):
+        assert PruningConfig.none().label == "NoPrune"
+        assert PruningConfig.apriori_only().label == "Apriori"
+        assert PruningConfig.transitivity_only().label == "Trans"
+        assert PruningConfig.all().label == "All"
+
+    def test_all_variants_distinct(self):
+        assert len(set(ALL_VARIANTS)) == 4
+
+
+@st.composite
+def queries(draw):
+    query = PatternQuery()
+    if draw(st.booleans()):
+        query = query.with_events(draw(st.sampled_from(["C:1", "D:1", "F:0", "Z:9"])))
+    if draw(st.booleans()):
+        query = query.with_series(draw(st.sampled_from(["C", "D", "M", "Z"])))
+    if draw(st.booleans()):
+        query = query.with_relations(
+            draw(st.sampled_from(["Follows", "Contains", "Overlaps"]))
+        )
+    query = query.min_size(draw(st.integers(1, 3)))
+    if draw(st.booleans()):
+        query = query.max_size(draw(st.integers(1, 3)))
+    return query.min_seasons(draw(st.integers(0, 3)))
+
+
+class TestQueryProperties:
+    @given(query=queries())
+    @settings(max_examples=60, deadline=None)
+    def test_run_agrees_with_matches(self, paper_result, query):
+        hits = query.run(paper_result)
+        hit_keys = {sp.pattern for sp in hits}
+        for sp in paper_result.patterns:
+            assert (sp.pattern in hit_keys) == query.matches(sp)
+
+    @given(query=queries(), event=st.sampled_from(["C:1", "D:0"]))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_constraints_never_grows_results(
+        self, paper_result, query, event
+    ):
+        base = len(query.run(paper_result))
+        narrowed = len(query.with_events(event).run(paper_result))
+        assert narrowed <= base

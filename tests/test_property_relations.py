@@ -1,0 +1,70 @@
+"""Property-based tests for the temporal relations (Property 1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import CONTAINS, FOLLOWS, OVERLAPS, EventInstance, RelationConfig
+from repro.events.relations import order_pair, relation_between, relation_of_pair
+
+intervals = st.tuples(st.integers(1, 30), st.integers(0, 10)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+configs = st.builds(
+    RelationConfig, epsilon=st.integers(0, 3), min_overlap=st.integers(1, 4)
+)
+
+
+def _pair(interval_a, interval_b):
+    a = EventInstance("A:1", *interval_a)
+    b = EventInstance("B:1", *interval_b)
+    return order_pair(a, b)
+
+
+@given(intervals, intervals)
+def test_relation_is_one_of_the_three_or_none(interval_a, interval_b):
+    earlier, later = _pair(interval_a, interval_b)
+    assert relation_between(earlier, later) in (FOLLOWS, CONTAINS, OVERLAPS, None)
+
+
+@given(intervals, intervals)
+def test_epsilon_zero_matches_table_iii_conditions(interval_a, interval_b):
+    config = RelationConfig(epsilon=0, min_overlap=1)
+    earlier, later = _pair(interval_a, interval_b)
+    relation = relation_between(earlier, later, config)
+    # Re-derive from the paper's raw conditions on half-open ends.
+    si, ei = earlier.start, earlier.end + 1
+    sj, ej = later.start, later.end + 1
+    if si <= sj and ei >= ej:
+        assert relation == CONTAINS
+    elif ei <= sj:
+        assert relation == FOLLOWS
+    elif si < sj and ei < ej and ei - sj >= 1:
+        assert relation == OVERLAPS
+    else:
+        assert relation is None
+
+
+@given(intervals, intervals, configs)
+def test_order_invariance_of_relation_of_pair(interval_a, interval_b, config):
+    a = EventInstance("A:1", *interval_a)
+    b = EventInstance("B:1", *interval_b)
+    assert relation_of_pair(a, b, config) == relation_of_pair(b, a, config)
+
+
+@given(intervals, configs)
+def test_instance_relates_to_itself_as_contains(interval, config):
+    instance = EventInstance("A:1", *interval)
+    assert relation_between(instance, instance, config) == CONTAINS
+
+
+@given(intervals, intervals, st.integers(0, 3))
+@settings(max_examples=300)
+def test_growing_epsilon_never_turns_a_follows_into_nothing(
+    interval_a, interval_b, epsilon
+):
+    # epsilon only widens tolerance: a Follows at eps=0 stays a relation.
+    earlier, later = _pair(interval_a, interval_b)
+    base = relation_between(earlier, later, RelationConfig(0, 1))
+    wide = relation_between(earlier, later, RelationConfig(epsilon, 1))
+    if base is not None:
+        assert wide is not None

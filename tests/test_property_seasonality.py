@@ -1,0 +1,76 @@
+"""Property-based tests for the seasonality machinery (Defs. 3.13-3.15)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MiningParams, compute_seasons, max_season
+from repro.core.seasonality import split_near_support_sets
+
+supports = st.lists(
+    st.integers(1, 120), min_size=0, max_size=40, unique=True
+).map(sorted)
+
+params_strategy = st.builds(
+    MiningParams,
+    max_period=st.integers(1, 6),
+    min_density=st.integers(1, 4),
+    dist_interval=st.tuples(st.integers(0, 5), st.integers(5, 30)),
+    min_season=st.integers(1, 5),
+)
+
+
+@given(supports, st.integers(1, 6))
+def test_near_sets_partition_the_support(support, max_period):
+    sets = split_near_support_sets(support, max_period)
+    flattened = [g for near in sets for g in near]
+    assert flattened == support
+
+
+@given(supports, st.integers(1, 6))
+def test_near_sets_are_maximal(support, max_period):
+    sets = split_near_support_sets(support, max_period)
+    for near in sets:
+        for a, b in zip(near, near[1:]):
+            assert b - a <= max_period
+    for left, right in zip(sets, sets[1:]):
+        assert right[0] - left[-1] > max_period
+
+
+@given(supports, params_strategy)
+def test_season_invariants(support, params):
+    view = compute_seasons(support, params)
+    support_set = set(support)
+    seen: set[int] = set()
+    for season in view.seasons:
+        assert len(season) >= params.min_density
+        assert set(season) <= support_set
+        assert not (set(season) & seen)  # seasons are disjoint
+        seen.update(season)
+        for a, b in zip(season, season[1:]):
+            assert b - a <= params.max_period
+    for distance in view.distances():
+        assert params.dist_min <= distance <= params.dist_max
+
+
+@given(supports, params_strategy)
+def test_max_season_upper_bounds_seasons(support, params):
+    view = compute_seasons(support, params)
+    assert view.n_seasons <= max_season(len(support), params.min_density) + 1e-12
+
+
+@given(supports, supports, params_strategy)
+@settings(max_examples=200)
+def test_max_season_anti_monotone_under_subset(support_a, support_b, params):
+    # Lemma 1: a subset support has at most the superset's maxSeason.
+    union = sorted(set(support_a) | set(support_b))
+    assert max_season(len(support_a), params.min_density) <= max_season(
+        len(union), params.min_density
+    )
+
+
+@given(supports, params_strategy)
+def test_adding_occurrences_never_lowers_max_season(support, params):
+    extended = sorted(set(support) | {121, 125})
+    assert max_season(len(extended), params.min_density) >= max_season(
+        len(support), params.min_density
+    )

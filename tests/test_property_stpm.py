@@ -1,0 +1,111 @@
+"""Property-based equivalence tests: the miners agree on random inputs.
+
+These are the strongest correctness guarantees in the suite: on arbitrary
+small symbolic databases,
+
+* E-STPM equals the brute-force oracle (NaiveSTPM);
+* every pruning variant of E-STPM returns the same pattern set
+  (the prunings are lossless, Lemmas 1-4);
+* APS-growth (the baseline) also returns the same pattern set;
+* A-STPM returns a subset, exact on the series it keeps.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ASTPM,
+    ESTPM,
+    MiningParams,
+    PruningConfig,
+    SymbolicDatabase,
+    build_sequence_database,
+)
+from repro.baselines import APSGrowth, NaiveSTPM
+
+
+@st.composite
+def mining_inputs(draw):
+    n_series = draw(st.integers(1, 3))
+    length = draw(st.integers(8, 30))
+    rows = {
+        f"S{i}": "".join(
+            draw(st.lists(st.sampled_from("01"), min_size=length, max_size=length))
+        )
+        for i in range(n_series)
+    }
+    ratio = draw(st.sampled_from([2, 3]))
+    params = MiningParams(
+        max_period=draw(st.integers(1, 3)),
+        min_density=draw(st.integers(1, 2)),
+        dist_interval=(draw(st.integers(0, 2)), draw(st.integers(3, 10))),
+        min_season=draw(st.integers(1, 2)),
+        max_pattern_length=3,
+    )
+    dseq = build_sequence_database(SymbolicDatabase.from_rows(rows), ratio)
+    return SymbolicDatabase.from_rows(rows), dseq, ratio, params
+
+
+@given(mining_inputs())
+@settings(max_examples=40, deadline=None)
+def test_estpm_equals_bruteforce_oracle(inputs):
+    _, dseq, _, params = inputs
+    exact = ESTPM(dseq, params).mine().pattern_keys()
+    oracle = NaiveSTPM(dseq, params).mine().pattern_keys()
+    assert exact == oracle
+
+
+@given(mining_inputs())
+@settings(max_examples=25, deadline=None)
+def test_pruning_variants_are_lossless(inputs):
+    _, dseq, _, params = inputs
+    reference = ESTPM(dseq, params, PruningConfig.all()).mine().pattern_keys()
+    for variant in (
+        PruningConfig.none(),
+        PruningConfig.apriori_only(),
+        PruningConfig.transitivity_only(),
+    ):
+        assert ESTPM(dseq, params, variant).mine().pattern_keys() == reference
+
+
+@given(mining_inputs())
+@settings(max_examples=25, deadline=None)
+def test_apsgrowth_equals_estpm(inputs):
+    _, dseq, _, params = inputs
+    exact = ESTPM(dseq, params).mine().pattern_keys()
+    baseline = APSGrowth(dseq, params).mine().pattern_keys()
+    assert baseline == exact
+
+
+@given(mining_inputs())
+@settings(max_examples=25, deadline=None)
+def test_astpm_is_subset_and_exact_on_kept_series(inputs):
+    dsyb, dseq, ratio, params = inputs
+    exact = ESTPM(dseq, params).mine().pattern_keys()
+    miner = ASTPM(dsyb, ratio, params, dseq=dseq)
+    report = miner.screening()
+    approx = miner.mine().pattern_keys()
+    assert approx <= exact
+    kept = set(report.correlated_series)
+    expected = {
+        p
+        for p in exact
+        if all(event.rsplit(":", 1)[0] in kept for event in p.events)
+    }
+    assert approx == expected
+
+
+@given(mining_inputs())
+@settings(max_examples=25, deadline=None)
+def test_every_frequent_pattern_meets_all_thresholds(inputs):
+    _, dseq, _, params = inputs
+    result = ESTPM(dseq, params).mine()
+    for sp in result.patterns:
+        assert sp.n_seasons >= params.min_season
+        assert all(d >= params.min_density for d in sp.seasons.densities())
+        assert all(
+            params.dist_min <= dist <= params.dist_max
+            for dist in sp.seasons.distances()
+        )
+        # Support is strictly increasing granule positions.
+        assert list(sp.support) == sorted(set(sp.support))

@@ -1,0 +1,93 @@
+"""Property-based tests for the DSYB -> DSEQ transformation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SymbolicDatabase, build_sequence_database
+
+
+@st.composite
+def databases(draw):
+    n_series = draw(st.integers(1, 3))
+    length = draw(st.integers(4, 40))
+    alphabet = draw(st.sampled_from(["01", "abc"]))
+    rows = {
+        f"S{i}": "".join(
+            draw(st.lists(st.sampled_from(alphabet), min_size=length, max_size=length))
+        )
+        for i in range(n_series)
+    }
+    ratio = draw(st.integers(1, 5).filter(lambda r: r <= length))
+    return SymbolicDatabase.from_rows(
+        rows, __import__("repro").Alphabet(tuple(alphabet))
+    ), ratio
+
+
+@given(databases())
+@settings(max_examples=80, deadline=None)
+def test_instances_tile_each_granule(db_and_ratio):
+    dsyb, ratio = db_and_ratio
+    dseq = build_sequence_database(dsyb, ratio)
+    for row in dseq:
+        for name in dsyb.names:
+            spans = sorted(
+                (inst.start, inst.end)
+                for inst in row.instances
+                if inst.event.startswith(f"{name}:")
+            )
+            # The series' instances tile the granule exactly: contiguous,
+            # non-overlapping, covering all `ratio` fine granules.
+            granule_start = (row.position - 1) * ratio + 1
+            assert spans[0][0] == granule_start
+            assert spans[-1][1] == granule_start + ratio - 1
+            for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+                assert start_b == end_a + 1
+
+
+@given(databases())
+@settings(max_examples=80, deadline=None)
+def test_instances_reproduce_the_symbols(db_and_ratio):
+    dsyb, ratio = db_and_ratio
+    dseq = build_sequence_database(dsyb, ratio)
+    for name in dsyb.names:
+        reconstructed: dict[int, str] = {}
+        for row in dseq:
+            for instance in row.instances:
+                series, _, symbol = instance.event.rpartition(":")
+                if series != name:
+                    continue
+                for position in range(instance.start, instance.end + 1):
+                    reconstructed[position] = symbol
+        symbols = dsyb[name].symbols
+        for position, symbol in reconstructed.items():
+            assert symbols[position - 1] == symbol
+
+
+@given(databases())
+@settings(max_examples=80, deadline=None)
+def test_event_support_consistent_with_rows(db_and_ratio):
+    dsyb, ratio = db_and_ratio
+    dseq = build_sequence_database(dsyb, ratio)
+    support = dseq.event_support()
+    for event, positions in support.items():
+        assert positions == sorted(set(positions))
+        for position in positions:
+            assert dseq.instances_at(position, event)
+
+
+@given(databases())
+@settings(max_examples=80, deadline=None)
+def test_runs_inside_granules_are_maximal(db_and_ratio):
+    dsyb, ratio = db_and_ratio
+    dseq = build_sequence_database(dsyb, ratio)
+    for row in dseq:
+        by_series: dict[str, list] = {}
+        for instance in row.instances:
+            series, _, _ = instance.event.rpartition(":")
+            by_series.setdefault(series, []).append(instance)
+        for instances in by_series.values():
+            instances.sort(key=lambda inst: inst.start)
+            for a, b in zip(instances, instances[1:]):
+                # Adjacent runs of the same series must differ in symbol,
+                # otherwise the run split was not maximal.
+                assert a.event != b.event

@@ -1,0 +1,113 @@
+"""Unit tests for PS-growth, cross-checked against brute force."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.baselines.psgrowth import PSGrowth
+from repro.exceptions import MiningError
+
+
+def brute_force_itemsets(transactions, min_sup, max_per, max_size=None):
+    """Reference periodic-frequent itemset miner using raw tid lists."""
+    items = sorted({item for tids in transactions.values() for item in tids})
+    n = max(transactions, default=0)
+    results = {}
+    for size in range(1, (max_size or len(items)) + 1):
+        for itemset in combinations(items, size):
+            tids = sorted(
+                tid
+                for tid, present in transactions.items()
+                if set(itemset) <= set(present)
+            )
+            if len(tids) < min_sup:
+                continue
+            gaps = [tids[0]] + [b - a for a, b in zip(tids, tids[1:])] + [n - tids[-1]]
+            if max(gaps) <= max_per:
+                results[itemset] = len(tids)
+    return results
+
+
+SMALL_DB = {
+    1: ["a", "b"],
+    2: ["a", "b", "c"],
+    3: ["b", "c"],
+    4: ["a", "b"],
+    5: ["a", "c"],
+    6: ["a", "b", "c"],
+}
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("min_sup,max_per", [(2, 2), (3, 2), (2, 3), (4, 6)])
+    def test_small_database(self, min_sup, max_per):
+        mined = {
+            r.items: r.support
+            for r in PSGrowth(SMALL_DB, min_sup=min_sup, max_per=max_per).mine()
+        }
+        expected = brute_force_itemsets(SMALL_DB, min_sup, max_per)
+        assert mined == expected
+
+    def test_randomized_databases(self):
+        import random
+
+        for seed in range(12):
+            rng = random.Random(seed)
+            n = rng.randint(6, 20)
+            items = "abcde"[: rng.randint(2, 5)]
+            transactions = {
+                tid: [item for item in items if rng.random() < 0.5]
+                for tid in range(1, n + 1)
+            }
+            transactions = {t: i for t, i in transactions.items() if i}
+            if not transactions:
+                continue
+            min_sup = rng.randint(1, 3)
+            max_per = rng.randint(2, n)
+            mined = {
+                r.items: r.support
+                for r in PSGrowth(transactions, min_sup=min_sup, max_per=max_per).mine()
+            }
+            expected = brute_force_itemsets(transactions, min_sup, max_per)
+            # Supports are always exact; the period-summary representation
+            # can only err toward acceptance (see pstree docstring).
+            for itemset, support in expected.items():
+                assert mined.get(itemset) == support, (seed, itemset)
+            for itemset in mined:
+                tids = sorted(
+                    tid
+                    for tid, present in transactions.items()
+                    if set(itemset) <= set(present)
+                )
+                assert len(tids) >= min_sup
+
+
+class TestOptions:
+    def test_max_itemset_size(self):
+        mined = PSGrowth(SMALL_DB, min_sup=2, max_per=6, max_itemset_size=1).mine()
+        assert all(len(r) == 1 for r in mined)
+        assert {r.items[0] for r in mined} == {"a", "b", "c"}
+
+    def test_max_period_is_summary_visible(self):
+        # With max_per=6 the tids 1,2,4,5,6 of 'a' compress into one run,
+        # so the visible max period is the boundary gap (tid 1 from 0) --
+        # the period-summary approximation documented in pstree.
+        mined = {r.items: r for r in PSGrowth(SMALL_DB, min_sup=2, max_per=6).mine()}
+        assert mined[("a",)].max_period == 1
+
+    def test_max_period_exact_when_runs_split(self):
+        # With max_per=1, tid gaps above 1 split runs, making the visible
+        # periods exact: item 'c' occurs at 2, 3, 5, 6 -> max gap 2 > 1,
+        # so 'c' is not periodic.
+        db = {1: ["a"], 2: ["c"], 3: ["c"], 4: ["a"], 5: ["c"], 6: ["c"]}
+        mined = {r.items for r in PSGrowth(db, min_sup=2, max_per=1).mine()}
+        assert ("c",) not in mined
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            PSGrowth(SMALL_DB, min_sup=0, max_per=2)
+        with pytest.raises(MiningError):
+            PSGrowth(SMALL_DB, min_sup=1, max_per=0)
+
+    def test_empty_database(self):
+        assert PSGrowth({}, min_sup=1, max_per=1).mine() == []

@@ -1,0 +1,91 @@
+"""Unit tests for the PS-tree substrate (Kiran et al. [40])."""
+
+import pytest
+
+from repro.baselines.pstree import PeriodSummary, PSTree
+from repro.exceptions import MiningError
+
+
+class TestPeriodSummary:
+    def test_runs_merge_within_max_per(self):
+        summary = PeriodSummary(max_per=2)
+        for tid in (1, 2, 4, 9, 10):
+            summary.add_tid(tid)
+        assert summary.runs == [(1, 4, 3), (9, 10, 2)]
+        assert summary.support == 5
+
+    def test_tids_must_increase(self):
+        summary = PeriodSummary(max_per=2)
+        summary.add_tid(5)
+        with pytest.raises(MiningError):
+            summary.add_tid(5)
+
+    def test_merged_with(self):
+        a = PeriodSummary(2)
+        for tid in (1, 2):
+            a.add_tid(tid)
+        b = PeriodSummary(2)
+        for tid in (4, 10):
+            b.add_tid(tid)
+        merged = a.merged_with(b)
+        assert merged.runs == [(1, 4, 3), (10, 10, 1)]
+        assert merged.support == 4
+
+    def test_merge_rejects_mismatched_max_per(self):
+        with pytest.raises(MiningError):
+            PeriodSummary(1).merged_with(PeriodSummary(2))
+
+    def test_max_inter_run_gap_includes_boundaries(self):
+        summary = PeriodSummary(max_per=2)
+        for tid in (3, 4):
+            summary.add_tid(tid)
+        # Leading boundary 3, trailing boundary 10 - 4 = 6.
+        assert summary.max_inter_run_gap(n_transactions=10) == 6
+
+    def test_is_periodic(self):
+        summary = PeriodSummary(max_per=3)
+        for tid in (2, 4, 7, 9):
+            summary.add_tid(tid)
+        assert summary.is_periodic(n_transactions=10)
+        assert not summary.is_periodic(n_transactions=20)
+
+    def test_empty_summary_gap_is_database_length(self):
+        assert PeriodSummary(2).max_inter_run_gap(7) == 7
+
+
+class TestPSTree:
+    def _tree(self):
+        order = {"a": 0, "b": 1, "c": 2}
+        tree = PSTree(max_per=100, item_order=order)
+        tree.n_transactions = 4
+        tree.insert_transaction(1, ["a", "b"])
+        tree.insert_transaction(2, ["a", "b", "c"])
+        tree.insert_transaction(3, ["b"])
+        tree.insert_transaction(4, ["a"])
+        return tree
+
+    def test_node_count_shares_prefixes(self):
+        tree = self._tree()
+        # Paths: a, a-b, a-b-c, b -> nodes a, b(under a), c, b(root) = 4.
+        assert tree.n_nodes() == 4
+
+    def test_header_links_cover_all_item_nodes(self):
+        tree = self._tree()
+        assert len(list(tree.nodes_of("b"))) == 2
+        assert len(list(tree.nodes_of("a"))) == 1
+
+    def test_item_summary_counts_descendant_tails(self):
+        tree = self._tree()
+        assert tree.item_summary("a").support == 3  # tids 1, 2, 4
+        assert tree.item_summary("b").support == 3  # tids 1, 2, 3
+        assert tree.item_summary("c").support == 1
+
+    def test_items_not_in_order_are_skipped(self):
+        tree = PSTree(max_per=10, item_order={"a": 0})
+        tree.insert_transaction(1, ["a", "zzz"])
+        assert tree.n_nodes() == 1
+
+    def test_path_to_root(self):
+        tree = self._tree()
+        c_node = next(tree.nodes_of("c"))
+        assert tree.path_to_root(c_node) == ["a", "b"]

@@ -1,0 +1,92 @@
+"""Unit tests for the pattern query API."""
+
+import pytest
+
+from repro import ESTPM, PatternQuery, subpatterns_of, superpatterns_of
+from repro.events import CONTAINS, FOLLOWS
+
+
+@pytest.fixture(scope="module")
+def mined(paper_dseq, paper_params):
+    return ESTPM(paper_dseq, paper_params).mine()
+
+
+class TestPatternQuery:
+    def test_no_constraints_matches_everything(self, mined):
+        assert len(PatternQuery().run(mined)) == len(mined)
+
+    def test_event_constraint(self, mined):
+        hits = PatternQuery().with_events("C:1").run(mined)
+        assert hits
+        for sp in hits:
+            assert "C:1" in sp.pattern.events
+
+    def test_series_constraint(self, mined):
+        hits = PatternQuery().with_series("M").run(mined)
+        assert hits
+        for sp in hits:
+            assert any(event.startswith("M:") for event in sp.pattern.events)
+
+    def test_relation_constraint(self, mined):
+        hits = PatternQuery().with_relations(CONTAINS).run(mined)
+        assert hits
+        for sp in hits:
+            assert any(t.relation == CONTAINS for t in sp.pattern.triples)
+
+    def test_size_bounds(self, mined):
+        twos = PatternQuery().min_size(2).max_size(2).run(mined)
+        assert twos
+        assert all(sp.size == 2 for sp in twos)
+
+    def test_min_seasons(self, mined):
+        strong = PatternQuery().min_seasons(2).run(mined)
+        assert strong
+        assert all(sp.n_seasons >= 2 for sp in strong)
+        assert not PatternQuery().min_seasons(99).run(mined)
+
+    def test_conjunction(self, mined):
+        hits = (
+            PatternQuery()
+            .with_series("C", "D")
+            .min_size(2)
+            .with_relations(CONTAINS)
+            .run(mined)
+        )
+        for sp in hits:
+            series = {e.rsplit(":", 1)[0] for e in sp.pattern.events}
+            assert {"C", "D"} <= series
+
+    def test_ordering_is_strongest_first(self, mined):
+        hits = PatternQuery().run(mined)
+        seasons = [sp.n_seasons for sp in hits]
+        assert seasons == sorted(seasons, reverse=True)
+
+    def test_immutability_of_builders(self):
+        base = PatternQuery()
+        derived = base.with_events("A:1")
+        assert base.events == frozenset()
+        assert derived.events == {"A:1"}
+
+
+class TestContainmentSearch:
+    def test_superpatterns(self, mined):
+        two_event = next(sp for sp in mined.by_size(2))
+        supers = superpatterns_of(two_event.pattern, mined)
+        for sp in supers:
+            assert two_event.pattern.is_subpattern_of(sp.pattern)
+            assert sp.size > two_event.size or sp.pattern != two_event.pattern
+
+    def test_subpatterns_of_a_triple(self, mined):
+        three_event = next(sp for sp in mined.by_size(3))
+        subs = subpatterns_of(three_event.pattern, mined)
+        # Every 2-event restriction that was itself frequent shows up.
+        assert subs
+        for sp in subs:
+            assert sp.pattern.is_subpattern_of(three_event.pattern)
+
+    def test_super_sub_duality(self, mined):
+        two_event = next(sp for sp in mined.by_size(2))
+        for sp in superpatterns_of(two_event.pattern, mined):
+            assert two_event.pattern in {
+                q.pattern for q in subpatterns_of(sp.pattern, mined)
+            } | {two_event.pattern}

@@ -1,0 +1,113 @@
+"""Unit tests for the temporal relations (paper Table III, Property 1)."""
+
+import pytest
+
+from repro.events import (
+    CONTAINS,
+    FOLLOWS,
+    OVERLAPS,
+    EventInstance,
+    RelationConfig,
+    relation_between,
+)
+from repro.events.relations import format_triple, order_pair, relation_of_pair
+from repro.exceptions import ConfigError
+
+
+def _instance(start, end, event="X:1"):
+    return EventInstance(event, start, end)
+
+
+class TestFollows:
+    def test_adjacent_intervals_follow(self):
+        # [G1,G2] then [G3,G4]: ei ends exactly where ej starts.
+        assert relation_between(_instance(1, 2), _instance(3, 4)) == FOLLOWS
+
+    def test_gap_follows(self):
+        assert relation_between(_instance(1, 2), _instance(10, 12)) == FOLLOWS
+
+    def test_epsilon_tolerates_small_overlap(self):
+        config = RelationConfig(epsilon=1, min_overlap=2)
+        # One shared granule is within the epsilon=1 tolerance -> Follows.
+        assert relation_between(_instance(1, 3), _instance(3, 6), config) == FOLLOWS
+
+
+class TestContains:
+    def test_proper_containment(self):
+        assert relation_between(_instance(1, 6), _instance(2, 4)) == CONTAINS
+
+    def test_equal_intervals_contain(self):
+        assert relation_between(_instance(1, 4), _instance(1, 4)) == CONTAINS
+
+    def test_shared_start(self):
+        assert relation_between(_instance(1, 6), _instance(1, 3)) == CONTAINS
+
+    def test_epsilon_tolerates_slight_overhang(self):
+        config = RelationConfig(epsilon=1)
+        assert relation_between(_instance(1, 4), _instance(2, 5), config) == CONTAINS
+
+
+class TestOverlaps:
+    def test_basic_overlap(self):
+        assert relation_between(_instance(1, 4), _instance(3, 8)) == OVERLAPS
+
+    def test_overlap_shorter_than_do_is_no_relation(self):
+        config = RelationConfig(min_overlap=3)
+        assert relation_between(_instance(1, 4), _instance(3, 8), config) is None
+
+    def test_minimum_overlap_boundary(self):
+        config = RelationConfig(min_overlap=2)
+        assert relation_between(_instance(1, 4), _instance(3, 8), config) == OVERLAPS
+        assert relation_between(_instance(1, 4), _instance(4, 8), config) is None
+
+    def test_equal_start_longer_second_is_no_relation(self):
+        # Table III requires ts_i < ts_j for Overlaps and te_i >= te_j for
+        # Contains; equal starts with a longer second instance match neither.
+        assert relation_between(_instance(1, 3), _instance(1, 6)) is None
+
+
+class TestMutualExclusivity:
+    def test_exhaustive_small_grid(self):
+        # Property 1: at most one relation holds for every ordered pair.
+        config = RelationConfig()
+        span = 6
+        for start_i in range(1, span):
+            for end_i in range(start_i, span):
+                for start_j in range(start_i, span):
+                    for end_j in range(start_j, span):
+                        earlier = _instance(start_i, end_i)
+                        later = _instance(start_j, end_j, "Y:1")
+                        if later.sort_key() < earlier.sort_key():
+                            continue
+                        relation = relation_between(earlier, later, config)
+                        assert relation in (FOLLOWS, CONTAINS, OVERLAPS, None)
+
+
+class TestHelpers:
+    def test_order_pair(self):
+        a, b = _instance(3, 4), _instance(1, 2, "Y:1")
+        assert order_pair(a, b) == (b, a)
+        assert order_pair(b, a) == (b, a)
+
+    def test_relation_of_pair_orders_first(self):
+        late = _instance(5, 6, "A:1")
+        early = _instance(1, 2, "B:1")
+        relation, first, second = relation_of_pair(late, early)
+        assert relation == FOLLOWS
+        assert first == early
+        assert second == late
+
+    def test_relation_of_pair_none(self):
+        config = RelationConfig(min_overlap=5)
+        assert relation_of_pair(_instance(1, 4), _instance(3, 8, "Y:1"), config) is None
+
+    def test_format_triple(self):
+        assert format_triple(FOLLOWS, "A:1", "B:1") == "A:1 -> B:1"
+        assert format_triple(CONTAINS, "A:1", "B:1") == "A:1 >= B:1"
+        assert format_triple(OVERLAPS, "A:1", "B:1") == "A:1 ~ B:1"
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RelationConfig(epsilon=-1)
+        with pytest.raises(ConfigError):
+            RelationConfig(min_overlap=0)

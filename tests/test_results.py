@@ -1,0 +1,59 @@
+"""Unit tests for MiningResult / MiningStats / SeasonalPattern helpers."""
+
+from repro.core.pattern import single_event_pattern
+from repro.core.results import MiningResult, MiningStats, SeasonalPattern
+from repro.core.seasonality import SeasonView
+
+
+def _sp(event, seasons):
+    flat = tuple(g for season in seasons for g in season)
+    view = SeasonView(
+        support=flat,
+        near_sets=tuple(tuple(s) for s in seasons),
+        seasons=tuple(tuple(s) for s in seasons),
+    )
+    return SeasonalPattern(single_event_pattern(event), view)
+
+
+class TestSeasonalPattern:
+    def test_accessors(self):
+        sp = _sp("A:1", [(1, 2, 3), (9, 10)])
+        assert sp.size == 1
+        assert sp.n_seasons == 2
+        assert sp.support == (1, 2, 3, 9, 10)
+        assert "seasons=2" in sp.describe()
+
+
+class TestMiningStats:
+    def test_bump(self):
+        stats = MiningStats()
+        stats.bump(stats.n_frequent, 2)
+        stats.bump(stats.n_frequent, 2, 4)
+        assert stats.n_frequent == {2: 5}
+
+
+class TestMiningResult:
+    def test_len_and_by_size(self):
+        result = MiningResult(
+            patterns=[_sp("A:1", [(1, 2)]), _sp("B:1", [(3, 4)])],
+            stats=MiningStats(),
+        )
+        assert len(result) == 2
+        assert len(result.by_size(1)) == 2
+        assert result.by_size(2) == []
+        assert result.multi_event_keys() == set()
+
+    def test_describe_limits(self):
+        result = MiningResult(
+            patterns=[_sp(f"S{i}:1", [(i, i + 1)]) for i in range(1, 30)],
+            stats=MiningStats(),
+        )
+        text = result.describe(limit=3)
+        assert "and 26 more" in text
+
+    def test_describe_orders_by_seasons(self):
+        weak = _sp("Weak:1", [(1, 2)])
+        strong = _sp("Strong:1", [(1, 2), (9, 10), (19, 20)])
+        result = MiningResult(patterns=[weak, strong], stats=MiningStats())
+        text = result.describe()
+        assert text.index("Strong") < text.index("Weak")

@@ -1,0 +1,101 @@
+"""Golden tests: Table II -> Table IV transformation (paper Defs. 3.9-3.11)."""
+
+import pytest
+
+from repro import SymbolicDatabase, build_sequence_database
+from repro.events import EventInstance
+from repro.exceptions import TransformError
+
+
+class TestPaperTableIV:
+    def test_row_count(self, paper_dseq):
+        assert len(paper_dseq) == 14
+
+    def test_h1_sequence_for_series_c(self, paper_dseq):
+        # H1: (C:1,[G1,G2]), (C:0,[G3,G3]) per Table IV.
+        row = paper_dseq.sequence_at(1)
+        assert row.instances_of("C:1") == [EventInstance("C:1", 1, 2)]
+        assert row.instances_of("C:0") == [EventInstance("C:0", 3, 3)]
+
+    def test_h2_sequence_for_series_c(self, paper_dseq):
+        row = paper_dseq.sequence_at(2)
+        assert row.instances_of("C:1") == [EventInstance("C:1", 4, 4)]
+        assert row.instances_of("C:0") == [EventInstance("C:0", 5, 6)]
+
+    def test_h7_run_is_cut_at_granule_boundary(self, paper_dseq):
+        # C is ON during G19..G24; Table IV shows (C:1,[G19,G21]) in H7 and
+        # (C:1,[G22,G24]) in H8.
+        assert paper_dseq.sequence_at(7).instances_of("C:1") == [
+            EventInstance("C:1", 19, 21)
+        ]
+        assert paper_dseq.sequence_at(8).instances_of("C:1") == [
+            EventInstance("C:1", 22, 24)
+        ]
+
+    def test_h5_all_series(self, paper_dseq):
+        # H5: C:0, D:0, F:1, M:1, N:1 all spanning G13..G15.
+        row = paper_dseq.sequence_at(5)
+        expected = {
+            "C:0": (13, 15), "D:0": (13, 15), "F:1": (13, 15),
+            "M:1": (13, 15), "N:1": (13, 15),
+        }
+        for event, (start, end) in expected.items():
+            assert row.instances_of(event) == [EventInstance(event, start, end)]
+        assert len(row) == 5
+
+    def test_event_support_of_m1(self, paper_dseq):
+        # Sec. IV-B: SUP(M:1) = {H1..H6, H8..H11, H13}.
+        assert paper_dseq.event_support()["M:1"] == [1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 13]
+
+    def test_event_support_of_n0_and_m0(self, paper_dseq):
+        support = paper_dseq.event_support()
+        assert support["N:0"] == [1, 4, 7, 8, 14]
+        assert support["M:0"] == [2, 4, 7, 12, 14]
+
+    def test_total_events(self, paper_dseq):
+        # Five binary series -> 10 distinct events.
+        assert len(paper_dseq.events()) == 10
+
+    def test_describe_row(self, paper_dseq):
+        text = paper_dseq.describe_row(1)
+        assert "(C:1,[G1,G2])" in text
+        assert "(M:1,[G1,G3])" in text
+
+
+class TestBuildValidation:
+    def test_trailing_partial_block_dropped(self):
+        dsyb = SymbolicDatabase.from_rows({"C": "1101"})
+        dseq = build_sequence_database(dsyb, ratio=3)
+        assert len(dseq) == 1
+
+    def test_instances_within_granule_sorted(self):
+        dsyb = SymbolicDatabase.from_rows({"A": "01", "B": "11"})
+        dseq = build_sequence_database(dsyb, ratio=2)
+        row = dseq.sequence_at(1)
+        # B:1 spans [1,2] and sorts before A:0 at [1,1].
+        assert row.instances[0] == EventInstance("B:1", 1, 2)
+
+    def test_ratio_validation(self):
+        dsyb = SymbolicDatabase.from_rows({"C": "10"})
+        with pytest.raises(TransformError):
+            build_sequence_database(dsyb, ratio=0)
+        with pytest.raises(TransformError):
+            build_sequence_database(dsyb, ratio=3)
+
+    def test_empty_dsyb_rejected(self):
+        with pytest.raises(TransformError):
+            build_sequence_database(SymbolicDatabase(), ratio=1)
+
+    def test_sequence_at_bounds(self, paper_dseq):
+        with pytest.raises(TransformError):
+            paper_dseq.sequence_at(0)
+        with pytest.raises(TransformError):
+            paper_dseq.sequence_at(15)
+
+    def test_total_instances(self):
+        dsyb = SymbolicDatabase.from_rows({"C": "1100"})
+        dseq = build_sequence_database(dsyb, ratio=2)
+        assert dseq.total_instances() == 2
+
+    def test_source_names_kept(self, paper_dseq):
+        assert paper_dseq.source_names == ["C", "D", "F", "M", "N"]

@@ -1,0 +1,99 @@
+"""Golden tests: E-STPM on the paper's running example (Secs. IV-B/IV-C).
+
+The paper states exact facts about mining Table IV with maxPeriod = 2,
+minDensity = 3, distInterval = [4, 10], minSeason = 2:
+
+* eight candidate single events enter HLH1 -- C:1, C:0, D:1, D:0, F:1,
+  F:0, M:1, N:1 -- while M:0 and N:0 fail the maxSeason gate (Fig. 6);
+* M:1 is a candidate but has only one season, so it is not frequent;
+* the pattern C:1 >= D:1 has the three near support sets of Fig. 3;
+* the anti-monotonicity counterexample: M:1 has one season while the
+  2-event pattern M:1 >= N:1 has two.
+"""
+
+import pytest
+
+from repro import ESTPM, PruningConfig, TemporalPattern, Triple, compute_seasons
+from repro.core.seasonality import is_candidate
+from repro.core.stpm import mine_seasonal_patterns
+from repro.events import CONTAINS
+
+
+@pytest.fixture(scope="module")
+def mined(paper_dseq, paper_params):
+    return ESTPM(paper_dseq, paper_params).mine()
+
+
+class TestCandidateEvents:
+    def test_fig6_candidate_set(self, paper_dseq, paper_params):
+        support = paper_dseq.event_support()
+        candidates = {
+            event for event, sup in support.items() if is_candidate(len(sup), paper_params)
+        }
+        assert candidates == {"C:1", "C:0", "D:1", "D:0", "F:1", "F:0", "M:1", "N:1"}
+
+    def test_m0_and_n0_fail_the_gate(self, paper_dseq, paper_params):
+        support = paper_dseq.event_support()
+        assert not is_candidate(len(support["M:0"]), paper_params)
+        assert not is_candidate(len(support["N:0"]), paper_params)
+
+    def test_hlh1_stats(self, mined):
+        assert mined.stats.n_candidate_events == 8
+        assert mined.stats.n_events_scanned == 10
+
+
+class TestSingleEventResults:
+    def test_m1_candidate_but_not_frequent(self, paper_dseq, paper_params, mined):
+        # season(M:1) = 1 < minSeason = 2 (Sec. IV-C).
+        support = paper_dseq.event_support()["M:1"]
+        assert compute_seasons(support, paper_params).n_seasons == 1
+        frequent_singles = {sp.pattern.events[0] for sp in mined.by_size(1)}
+        assert "M:1" not in frequent_singles
+
+    def test_frequent_single_events(self, mined):
+        frequent_singles = {sp.pattern.events[0] for sp in mined.by_size(1)}
+        assert frequent_singles == {"C:0", "C:1", "D:0", "D:1", "F:0", "F:1", "N:1"}
+
+
+class TestPatternResults:
+    def test_c1_contains_d1_is_frequent_with_two_seasons(self, mined):
+        pattern = TemporalPattern(("C:1", "D:1"), (Triple(CONTAINS, "C:1", "D:1"),))
+        matches = [sp for sp in mined.patterns if sp.pattern == pattern]
+        assert len(matches) == 1
+        assert matches[0].n_seasons == 2
+        assert matches[0].support == (1, 2, 3, 7, 8, 11, 12, 14)
+        assert matches[0].seasons.near_sets == ((1, 2, 3), (7, 8), (11, 12, 14))
+
+    def test_antimonotonicity_counterexample(self, mined, paper_dseq, paper_params):
+        # M:1 is not seasonal (1 season) but M:1 >= N:1 is (2 seasons):
+        # the Sec. IV-B counterexample.
+        pattern = TemporalPattern(("M:1", "N:1"), (Triple(CONTAINS, "M:1", "N:1"),))
+        matches = [sp for sp in mined.patterns if sp.pattern == pattern]
+        assert len(matches) == 1
+        assert matches[0].n_seasons == 2
+
+    def test_all_pruning_variants_agree(self, paper_dseq, paper_params, mined):
+        for variant in (
+            PruningConfig.none(),
+            PruningConfig.apriori_only(),
+            PruningConfig.transitivity_only(),
+        ):
+            result = ESTPM(paper_dseq, paper_params, variant).mine()
+            assert result.pattern_keys() == mined.pattern_keys(), variant.label
+
+    def test_every_reported_pattern_meets_thresholds(self, mined, paper_params):
+        for sp in mined.patterns:
+            assert sp.n_seasons >= paper_params.min_season
+            for density in sp.seasons.densities():
+                assert density >= paper_params.min_density
+            for distance in sp.seasons.distances():
+                assert paper_params.dist_min <= distance <= paper_params.dist_max
+
+    def test_convenience_wrapper(self, paper_dseq, paper_params, mined):
+        result = mine_seasonal_patterns(paper_dseq, paper_params)
+        assert result.pattern_keys() == mined.pattern_keys()
+
+    def test_three_event_patterns_exist(self, mined):
+        assert mined.by_size(3), "the example admits 3-event seasonal patterns"
+        for sp in mined.by_size(3):
+            assert len(sp.pattern.triples) == 3

@@ -1,0 +1,58 @@
+"""Unit + property tests for support-set algebra (paper Def. 3.12)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.support import intersect_many, intersect_sorted, is_sorted_strict
+
+sorted_lists = st.sets(st.integers(0, 60), max_size=25).map(sorted)
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5, 7], [3, 4, 5, 8]) == [3, 5]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+
+    def test_empty_operands(self):
+        assert intersect_sorted([], [1]) == []
+        assert intersect_sorted([1], []) == []
+
+    def test_identical(self):
+        assert intersect_sorted([1, 2, 3], [1, 2, 3]) == [1, 2, 3]
+
+    @given(sorted_lists, sorted_lists)
+    def test_matches_set_semantics(self, left, right):
+        assert intersect_sorted(left, right) == sorted(set(left) & set(right))
+
+    @given(sorted_lists, sorted_lists)
+    def test_commutative(self, left, right):
+        assert intersect_sorted(left, right) == intersect_sorted(right, left)
+
+
+class TestIntersectMany:
+    def test_no_operands(self):
+        assert intersect_many([]) == []
+
+    def test_single_operand(self):
+        assert intersect_many([[1, 2]]) == [1, 2]
+
+    @given(st.lists(sorted_lists, min_size=1, max_size=5))
+    def test_matches_set_semantics(self, supports):
+        expected = set(supports[0])
+        for other in supports[1:]:
+            expected &= set(other)
+        assert intersect_many([list(s) for s in supports]) == sorted(expected)
+
+    def test_short_circuits_on_empty(self):
+        assert intersect_many([[1], [], [1]]) == []
+
+
+class TestIsSortedStrict:
+    def test_cases(self):
+        assert is_sorted_strict([])
+        assert is_sorted_strict([5])
+        assert is_sorted_strict([1, 2, 9])
+        assert not is_sorted_strict([1, 1])
+        assert not is_sorted_strict([2, 1])

@@ -1,0 +1,88 @@
+"""Unit + failure-injection tests for the result validator."""
+
+import dataclasses
+
+import pytest
+
+from repro import ESTPM, TemporalPattern, Triple, validate_result, validate_seasonal_pattern
+from repro.core.results import SeasonalPattern
+from repro.core.seasonality import SeasonView
+from repro.core.validation import pattern_occurs_at, true_support
+from repro.events import CONTAINS, FOLLOWS
+
+
+@pytest.fixture(scope="module")
+def mined(paper_dseq, paper_params):
+    return ESTPM(paper_dseq, paper_params).mine()
+
+
+class TestHonestResultsPass:
+    def test_full_result_validates(self, mined, paper_dseq, paper_params):
+        assert validate_result(mined, paper_dseq, paper_params) == []
+
+    def test_true_support_matches_miner(self, mined, paper_dseq, paper_params):
+        for sp in mined.patterns:
+            assert (
+                true_support(sp.pattern, paper_dseq, paper_params)
+                == list(sp.support)
+            )
+
+    def test_pattern_occurs_at(self, paper_dseq, paper_params):
+        pattern = TemporalPattern(("C:1", "D:1"), (Triple(CONTAINS, "C:1", "D:1"),))
+        assert pattern_occurs_at(pattern, paper_dseq, 1, paper_params)
+        assert not pattern_occurs_at(pattern, paper_dseq, 5, paper_params)
+
+
+class TestFailureInjection:
+    def _tamper(self, sp, **changes):
+        view = sp.seasons
+        new_view = SeasonView(
+            support=changes.get("support", view.support),
+            near_sets=changes.get("near_sets", view.near_sets),
+            seasons=changes.get("seasons", view.seasons),
+        )
+        return SeasonalPattern(changes.get("pattern", sp.pattern), new_view)
+
+    def test_inflated_support_detected(self, mined, paper_dseq, paper_params):
+        sp = next(s for s in mined.by_size(2))
+        forged = self._tamper(sp, support=sp.support + (99,))
+        problems = validate_seasonal_pattern(forged, paper_dseq, paper_params)
+        assert any("support" in p for p in problems)
+
+    def test_missing_occurrence_detected(self, mined, paper_dseq, paper_params):
+        sp = next(s for s in mined.by_size(2))
+        forged = self._tamper(sp, support=sp.support[:-1])
+        problems = validate_seasonal_pattern(forged, paper_dseq, paper_params)
+        assert any("support" in p for p in problems)
+
+    def test_forged_seasons_detected(self, mined, paper_dseq, paper_params):
+        sp = next(s for s in mined.by_size(2))
+        forged = self._tamper(sp, seasons=sp.seasons.seasons[:-1])
+        problems = validate_seasonal_pattern(forged, paper_dseq, paper_params)
+        assert any("decomposition" in p or "seasons" in p for p in problems)
+
+    def test_wrong_relation_detected(self, mined, paper_dseq, paper_params):
+        sp = next(
+            s
+            for s in mined.by_size(2)
+            if s.pattern.triples[0].relation == CONTAINS
+        )
+        triple = sp.pattern.triples[0]
+        forged_pattern = TemporalPattern(
+            sp.pattern.events, (Triple(FOLLOWS, triple.first, triple.second),)
+        )
+        forged = self._tamper(sp, pattern=forged_pattern)
+        problems = validate_seasonal_pattern(forged, paper_dseq, paper_params)
+        assert problems  # support cannot match the forged relation
+
+    def test_limit_parameter(self, mined, paper_dseq, paper_params):
+        assert validate_result(mined, paper_dseq, paper_params, limit=3) == []
+
+
+class TestOnDataset:
+    def test_tiny_dataset_result_validates(self, tiny_inf):
+        params = tiny_inf.params(
+            min_season=2, max_period_pct=1.0, min_density_pct=1.0
+        ).with_updates(max_pattern_length=2)
+        result = ESTPM(tiny_inf.dseq(), params).mine()
+        assert validate_result(result, tiny_inf.dseq(), params, limit=30) == []
