@@ -1,0 +1,189 @@
+"""Self-contained PEP 517/660 build backend (stdlib only, offline-safe).
+
+The reproduction containers have ``pip`` and ``setuptools`` but no
+``wheel`` distribution and no network, which breaks every standard
+``pip install -e .`` path: the setuptools backend needs ``wheel`` to build
+(editable) wheels, and build isolation cannot download anything.  This
+backend removes both obstacles: it reads the ``[project]`` table from
+``pyproject.toml`` with :mod:`tomllib` and writes the (editable) wheel
+with :mod:`zipfile` directly -- no third-party imports, no build
+requirements (``requires = []``), so it works in pip's isolated build
+environment without touching the network.
+
+Supported hooks: ``build_wheel``, ``build_editable``, ``build_sdist``,
+``prepare_metadata_for_build_wheel`` / ``_editable`` and the
+``get_requires_for_*`` trio (all empty).  The editable wheel uses the
+classical ``.pth`` mechanism pointing at ``src/``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import tarfile
+import tomllib
+import zipfile
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent
+_SRC = _ROOT / "src"
+_TAG = "py3-none-any"
+
+
+def _project() -> dict:
+    with open(_ROOT / "pyproject.toml", "rb") as handle:
+        return tomllib.load(handle)["project"]
+
+
+def _dist_name(project: dict) -> str:
+    return project["name"].replace("-", "_")
+
+
+def _metadata_lines(project: dict) -> list[str]:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+    ]
+    if "description" in project:
+        lines.append(f"Summary: {project['description']}")
+    if "requires-python" in project:
+        lines.append(f"Requires-Python: {project['requires-python']}")
+    license_text = project.get("license", {}).get("text")
+    if license_text:
+        lines.append(f"License: {license_text}")
+    if project.get("keywords"):
+        lines.append(f"Keywords: {','.join(project['keywords'])}")
+    for classifier in project.get("classifiers", ()):
+        lines.append(f"Classifier: {classifier}")
+    for requirement in project.get("dependencies", ()):
+        lines.append(f"Requires-Dist: {requirement}")
+    for extra, requirements in project.get("optional-dependencies", {}).items():
+        lines.append(f"Provides-Extra: {extra}")
+        for requirement in requirements:
+            lines.append(f'Requires-Dist: {requirement}; extra == "{extra}"')
+    readme = project.get("readme")
+    body = ""
+    if isinstance(readme, dict) and "text" in readme:
+        lines.append(
+            f"Description-Content-Type: {readme.get('content-type', 'text/plain')}"
+        )
+        body = readme["text"]
+    elif isinstance(readme, str) and (_ROOT / readme).exists():
+        lines.append("Description-Content-Type: text/markdown")
+        body = (_ROOT / readme).read_text()
+    if body:
+        lines.extend(["", body])
+    return lines
+
+
+def _entry_points_lines(project: dict) -> list[str]:
+    scripts = project.get("scripts", {})
+    if not scripts:
+        return []
+    lines = ["[console_scripts]"]
+    lines.extend(f"{name} = {target}" for name, target in sorted(scripts.items()))
+    return lines
+
+
+def _dist_info_contents(project: dict) -> dict[str, str]:
+    contents = {"METADATA": "\n".join(_metadata_lines(project)) + "\n"}
+    entry_points = _entry_points_lines(project)
+    if entry_points:
+        contents["entry_points.txt"] = "\n".join(entry_points) + "\n"
+    contents["WHEEL"] = (
+        "Wheel-Version: 1.0\n"
+        "Generator: offline-build-backend\n"
+        "Root-Is-Purelib: true\n"
+        f"Tag: {_TAG}\n"
+    )
+    return contents
+
+
+def _record_entry(path: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=")
+    return f"{path},sha256={digest.decode()},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, project: dict, payload: dict[str, bytes]) -> str:
+    name, version = _dist_name(project), project["version"]
+    dist_info = f"{name}-{version}.dist-info"
+    wheel_name = f"{name}-{version}-{_TAG}.whl"
+    files = dict(payload)
+    for filename, text in _dist_info_contents(project).items():
+        files[f"{dist_info}/{filename}"] = text.encode()
+    record = [_record_entry(path, data) for path, data in files.items()]
+    record.append(f"{dist_info}/RECORD,,")
+    files[f"{dist_info}/RECORD"] = ("\n".join(record) + "\n").encode()
+    with zipfile.ZipFile(
+        Path(wheel_directory) / wheel_name, "w", zipfile.ZIP_DEFLATED
+    ) as archive:
+        for path, data in files.items():
+            archive.writestr(path, data)
+    return wheel_name
+
+
+def _package_payload() -> dict[str, bytes]:
+    payload: dict[str, bytes] = {}
+    for path in sorted(_SRC.rglob("*.py")):
+        payload[path.relative_to(_SRC).as_posix()] = path.read_bytes()
+    return payload
+
+
+# --- PEP 517 mandatory + optional hooks ------------------------------------
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    """No build requirements -- the backend is stdlib-only."""
+    return []
+
+
+get_requires_for_build_editable = get_requires_for_build_wheel
+get_requires_for_build_sdist = get_requires_for_build_wheel
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    """Write ``{name}-{version}.dist-info`` and return its directory name."""
+    project = _project()
+    dist_info = f"{_dist_name(project)}-{project['version']}.dist-info"
+    target = Path(metadata_directory) / dist_info
+    target.mkdir(parents=True, exist_ok=True)
+    for filename, text in _dist_info_contents(project).items():
+        (target / filename).write_text(text)
+    return dist_info
+
+
+prepare_metadata_for_build_editable = prepare_metadata_for_build_wheel
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a regular wheel containing the ``src/`` packages."""
+    return _write_wheel(wheel_directory, _project(), _package_payload())
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build an editable wheel: a ``.pth`` file pointing at ``src/``."""
+    project = _project()
+    pth = f"_{_dist_name(project)}_editable.pth"
+    return _write_wheel(wheel_directory, project, {pth: f"{_SRC}\n".encode()})
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    """Build a minimal source distribution (pyproject + backend + src)."""
+    project = _project()
+    base = f"{_dist_name(project)}-{project['version']}"
+    sdist_name = f"{base}.tar.gz"
+    members = [
+        "pyproject.toml",
+        "setup.py",
+        "_offline_build_backend.py",
+        "DESIGN.md",
+        "ROADMAP.md",
+    ]
+    with tarfile.open(Path(sdist_directory) / sdist_name, "w:gz") as archive:
+        for member in members:
+            path = _ROOT / member
+            if path.exists():
+                archive.add(path, arcname=f"{base}/{member}")
+        archive.add(_SRC, arcname=f"{base}/src")
+    return sdist_name

@@ -1,0 +1,117 @@
+"""Bench EXT2 (extension): bitset support engine + parallel executor.
+
+Two measurements on the Fig. 11/12 scaling-in-#sequences workloads:
+
+* **Intersection throughput** -- pairwise support-set intersections over
+  every event support of the workload, bitset (big-int ``&``) vs the
+  classical sorted-list two-pointer merge.  Expected shape: the bitset
+  representation wins by an order of magnitude (the merge is Python-level
+  work, the ``&`` is one C call).
+* **Serial vs parallel wall-clock** -- full E-STPM runs through the
+  :class:`SerialExecutor` and the process-pool :class:`ParallelExecutor`,
+  asserting the two mining results are identical (same patterns, same
+  supports, same season views, same order).  The speedup column is
+  informational: on a single-core runner the pool overhead makes the
+  parallel backend slower; with cores it approaches the worker count on
+  the group-heavy configurations.
+"""
+
+import time
+
+import pytest
+from _shared import run_once
+
+from repro.core.executor import ParallelExecutor
+from repro.core.stpm import ESTPM
+from repro.core.supportset import make_support_set
+from repro.datasets.registry import DATASET_BUILDERS, PROFILES
+
+FRACTIONS = (0.5, 1.0)
+INTERSECTION_ROUNDS = 40
+
+
+def _scaling_dataset(name: str, fraction: float):
+    base_sequences, n_series = PROFILES["bench"][name]
+    return DATASET_BUILDERS[name](
+        n_sequences=max(int(base_sequences * fraction), 8), n_series=n_series
+    )
+
+
+def _intersection_throughput(supports) -> float:
+    """Pairwise intersections per second over one support-set list."""
+    started = time.perf_counter()
+    n_ops = 0
+    for _ in range(INTERSECTION_ROUNDS):
+        for left in supports:
+            for right in supports:
+                len(left & right)
+                n_ops += 1
+    return n_ops / (time.perf_counter() - started)
+
+
+@pytest.mark.parametrize("name", ["RE", "INF"])
+def test_bitset_vs_list_intersection_throughput(benchmark, record_artifact, name):
+    dataset = _scaling_dataset(name, 1.0)
+    event_supports = dataset.dseq().event_support("list")
+    positions = [support.positions() for support in event_supports.values()]
+    as_lists = [make_support_set(p, "list") for p in positions]
+    as_bitsets = [make_support_set(p, "bitset") for p in positions]
+
+    def measure():
+        return (
+            _intersection_throughput(as_lists),
+            _intersection_throughput(as_bitsets),
+        )
+
+    list_ops, bitset_ops = run_once(benchmark, measure)
+    speedup = bitset_ops / list_ops
+    record_artifact(
+        f"EXT2-intersect-{name}",
+        "\n".join(
+            [
+                f"EXT2 -- support intersection throughput on {name} "
+                f"(Fig. 11/12 workload, {len(positions)} event supports)",
+                f"  sorted-list merge : {list_ops:12.0f} ops/s",
+                f"  big-int bitset    : {bitset_ops:12.0f} ops/s",
+                f"  bitset speedup    : {speedup:12.1f}x",
+            ]
+        ),
+    )
+    assert bitset_ops > list_ops, "bitset intersection should beat the list merge"
+
+
+@pytest.mark.parametrize("name", ["RE", "INF"])
+def test_serial_vs_parallel_executor(benchmark, record_artifact, name):
+    datasets = [_scaling_dataset(name, fraction) for fraction in FRACTIONS]
+    params = [
+        dataset.params(max_period_pct=0.4, min_density_pct=0.75, min_season=6)
+        for dataset in datasets
+    ]
+
+    def measure():
+        rows = []
+        for dataset, p in zip(datasets, params):
+            dseq = dataset.dseq()
+            started = time.perf_counter()
+            serial = ESTPM(dseq, p, executor="serial").mine()
+            serial_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            parallel = ESTPM(dseq, p, executor=ParallelExecutor()).mine()
+            parallel_seconds = time.perf_counter() - started
+            rows.append((len(dseq), serial, serial_seconds, parallel, parallel_seconds))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    lines = [
+        f"EXT2 -- serial vs parallel E-STPM on {name} (Fig. 11/12 workload)",
+        "  #seq   serial(s)  parallel(s)  speedup  #patterns",
+    ]
+    for n_seq, serial, serial_seconds, parallel, parallel_seconds in rows:
+        assert [(sp.pattern, sp.seasons) for sp in serial.patterns] == [
+            (sp.pattern, sp.seasons) for sp in parallel.patterns
+        ], "executor backends must return identical mining results"
+        lines.append(
+            f"  {n_seq:5d}  {serial_seconds:9.2f}  {parallel_seconds:11.2f}"
+            f"  {serial_seconds / parallel_seconds:7.2f}  {len(serial):9d}"
+        )
+    record_artifact(f"EXT2-parallel-{name}", "\n".join(lines))

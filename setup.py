@@ -1,6 +1,11 @@
-"""Setuptools shim so that ``pip install -e .`` works offline (legacy
-editable installs need no wheel package).  All metadata lives in
-pyproject.toml."""
+"""Setuptools shim for tooling that still invokes ``setup.py`` directly.
+
+``pip install -e .`` does NOT go through this file: pyproject.toml points
+at the in-tree, stdlib-only PEP 517 backend (``_offline_build_backend``)
+so editable installs work offline without the ``wheel`` package.  All
+project metadata lives in pyproject.toml's ``[project]`` table, which
+setuptools >= 61 also reads when this shim is used.
+"""
 
 from setuptools import setup
 

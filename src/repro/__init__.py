@@ -28,7 +28,21 @@ from repro.core.approximate import (
     screen_events,
 )
 from repro.core.config import MiningParams
+from repro.core.executor import (
+    MiningExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+    set_default_executor,
+)
 from repro.core.multigranularity import GranularityLevelResult, MultiGranularityMiner
+from repro.core.supportset import (
+    BitsetSupportSet,
+    ListSupportSet,
+    SupportSet,
+    make_support_set,
+    set_default_backend,
+)
 from repro.core.query import PatternQuery, subpatterns_of, superpatterns_of
 from repro.core.validation import validate_result, validate_seasonal_pattern
 from repro.core.mi import (
@@ -64,7 +78,7 @@ from repro.symbolic import (
 )
 from repro.transform import TemporalSequenceDatabase, build_sequence_database
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # granularity
@@ -115,6 +129,18 @@ __all__ = [
     "SeasonView",
     "compute_seasons",
     "max_season",
+    # support-set engine
+    "SupportSet",
+    "BitsetSupportSet",
+    "ListSupportSet",
+    "make_support_set",
+    "set_default_backend",
+    # execution backends
+    "MiningExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "resolve_executor",
+    "set_default_executor",
     # mi
     "entropy",
     "conditional_entropy",

@@ -9,15 +9,33 @@ Public entry points:
 * :class:`~repro.core.approximate.ASTPM` -- the MI-based approximate miner
   (Alg. 2).
 * :class:`~repro.core.results.MiningResult` -- patterns plus statistics.
+* :class:`~repro.core.supportset.SupportSet` -- the support-set algebra
+  (bitset / sorted-list representations).
+* :class:`~repro.core.executor.MiningExecutor` -- serial / process-pool
+  execution backends for the per-group mining work.
 """
 
 from repro.core.config import MiningParams
 from repro.core.approximate import ASTPM
+from repro.core.executor import (
+    MiningExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+    set_default_executor,
+)
 from repro.core.pattern import TemporalPattern, Triple
 from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult, SeasonalPattern
 from repro.core.seasonality import SeasonView, compute_seasons, max_season
 from repro.core.stpm import ESTPM
+from repro.core.supportset import (
+    BitsetSupportSet,
+    ListSupportSet,
+    SupportSet,
+    make_support_set,
+    set_default_backend,
+)
 
 __all__ = [
     "MiningParams",
@@ -31,4 +49,14 @@ __all__ = [
     "SeasonView",
     "compute_seasons",
     "max_season",
+    "SupportSet",
+    "BitsetSupportSet",
+    "ListSupportSet",
+    "make_support_set",
+    "set_default_backend",
+    "MiningExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "resolve_executor",
+    "set_default_executor",
 ]

@@ -25,6 +25,7 @@ from itertools import combinations
 
 from repro.core.bounds import mu_threshold, series_pair_mu
 from repro.core.config import MiningParams
+from repro.core.executor import MiningExecutor
 from repro.core.mi import normalized_mutual_information
 from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult
@@ -148,7 +149,8 @@ class ASTPM:
     Accepts the symbolic database plus the sequence-mapping ratio so the MI
     screening runs on DSYB (one scan, as the paper notes) while the mining
     runs on DSEQ.  A pre-built DSEQ can be supplied to avoid re-transforming
-    in benchmarks.
+    in benchmarks.  ``support_backend`` / ``executor`` / ``n_workers`` are
+    forwarded to the inner :class:`~repro.core.stpm.ESTPM` engine.
     """
 
     dsyb: SymbolicDatabase
@@ -157,6 +159,9 @@ class ASTPM:
     pruning: PruningConfig = field(default_factory=PruningConfig.all)
     dseq: TemporalSequenceDatabase | None = None
     event_level: bool = False
+    support_backend: str | None = None
+    executor: "MiningExecutor | str | None" = None
+    n_workers: int | None = None
 
     def mine(self) -> MiningResult:
         """Run MI screening, then the restricted exact mining.
@@ -181,6 +186,9 @@ class ASTPM:
             self.pruning,
             series_filter=set(report.correlated_series),
             event_filter=event_filter,
+            support_backend=self.support_backend,
+            executor=self.executor,
+            n_workers=self.n_workers,
         )
         result = miner.mine()
         result.stats.mi_seconds = report.mi_seconds

@@ -1,0 +1,199 @@
+"""Pluggable execution backends for the mining engine.
+
+The candidate-group work of one HLH level (Sec. IV-D: intersect supports,
+enumerate instance pairs, grow pattern assignments) is embarrassingly
+parallel: groups of the same level never interact, only the finished level
+feeds the next one.  :mod:`repro.core.stpm` therefore expresses each level
+as a list of *group tasks* -- pure, picklable ``(task) -> outcome``
+calls against a read-only :class:`~repro.core.stpm.LevelContext` -- and
+hands the list to an executor:
+
+* :class:`SerialExecutor` runs the tasks in order in-process (the default;
+  zero overhead, exactly the classical single-threaded miner);
+* :class:`ParallelExecutor` fans the tasks out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`, shipping the level
+  context once per worker (pool initializer) and the tasks in chunks.
+
+Both preserve the submission order of the results, so a
+:class:`~repro.core.results.MiningResult` is identical -- same patterns,
+same supports, same season views, same ordering -- whichever backend ran
+the level (asserted by the parity tests).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.exceptions import ConfigError
+
+#: Executor names accepted wherever a backend can be chosen.
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_PARALLEL = "parallel"
+EXECUTOR_BACKENDS = (EXECUTOR_SERIAL, EXECUTOR_PARALLEL)
+
+#: The per-process task context (the read-only level state workers use).
+_TASK_CONTEXT: Any = None
+
+
+def _set_task_context(context: Any) -> None:
+    """Install the level context in this process (pool initializer)."""
+    global _TASK_CONTEXT
+    _TASK_CONTEXT = context
+
+
+def get_task_context() -> Any:
+    """The level context installed for the currently running tasks."""
+    return _TASK_CONTEXT
+
+
+class MiningExecutor:
+    """Interface of an execution backend.
+
+    ``map_tasks(fn, tasks, context)`` must evaluate ``fn(task)`` for every
+    task with ``context`` installed (readable via :func:`get_task_context`)
+    and yield the outcomes *in task order*.  The returned iterable must be
+    consumed before the next ``map_tasks`` call (the miner does): the task
+    context is per-process state, not per-call.
+    """
+
+    #: Name of the backend ("serial" / "parallel").
+    name = "abstract"
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], context: Any
+    ) -> Iterable[Any]:
+        """Run ``fn`` over ``tasks``; outcomes keep the task order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(MiningExecutor):
+    """In-process, in-order execution -- the classical miner."""
+
+    name = EXECUTOR_SERIAL
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], context: Any
+    ) -> Iterator[Any]:
+        """Lazily evaluate the tasks one after another in this process.
+
+        Laziness keeps the classical memory profile: each group outcome is
+        registered (and freed) before the next group is mined, instead of
+        holding a whole level's outcomes alive at once.  The context
+        global is cleared when the iterator is exhausted or closed, so the
+        last level's HLH tables do not outlive the mining run.
+        """
+        _set_task_context(context)
+
+        def _run() -> Iterator[Any]:
+            try:
+                for task in tasks:
+                    yield fn(task)
+            finally:
+                _set_task_context(None)
+
+        return _run()
+
+
+class ParallelExecutor(MiningExecutor):
+    """Process-pool execution with chunked batching.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes (default: ``os.cpu_count()``).
+    chunk_size:
+        Tasks per inter-process batch; ``None`` picks ``ceil(n / (4 *
+        workers))`` so each worker sees a handful of batches (amortizing
+        the pickling) while load stays balanced.
+    min_tasks:
+        Levels with fewer tasks than this run serially in-process -- a
+        pool spawn costs more than mining a near-empty level.
+    """
+
+    name = EXECUTOR_PARALLEL
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        min_tasks: int = 2,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self.min_tasks = min_tasks
+
+    def _chunk(self, n_tasks: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-n_tasks // (4 * self.max_workers)))
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], context: Any
+    ) -> Iterable[Any]:
+        """Fan the tasks out over worker processes, preserving order.
+
+        ``ProcessPoolExecutor.map`` already yields results in submission
+        order, which is what makes the parallel mining result byte-identical
+        to the serial one.  The context lives in the *workers* (pool
+        initializer) and dies with the pool; the parent process buffers
+        only the outcomes.
+        """
+        if len(tasks) < self.min_tasks or self.max_workers == 1:
+            return SerialExecutor().map_tasks(fn, tasks, context)
+        with ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(tasks)),
+            initializer=_set_task_context,
+            initargs=(context,),
+        ) as pool:
+            return list(pool.map(fn, tasks, chunksize=self._chunk(len(tasks))))
+
+
+#: Process-wide default backend (see :func:`set_default_executor`).
+_DEFAULT_EXECUTOR: MiningExecutor | str = EXECUTOR_SERIAL
+
+
+def resolve_executor(
+    spec: MiningExecutor | str | None, n_workers: int | None = None
+) -> MiningExecutor:
+    """Turn an executor spec (instance, name, or ``None``) into an instance.
+
+    ``None`` resolves to the process-wide default; ``n_workers`` only
+    applies when a *name* is resolved (instances keep their own settings).
+    """
+    if spec is None:
+        spec = _DEFAULT_EXECUTOR
+    if isinstance(spec, MiningExecutor):
+        return spec
+    if spec == EXECUTOR_SERIAL:
+        return SerialExecutor()
+    if spec == EXECUTOR_PARALLEL:
+        return ParallelExecutor(max_workers=n_workers)
+    raise ConfigError(
+        f"unknown executor {spec!r}; choose from {EXECUTOR_BACKENDS}"
+    )
+
+
+def default_executor() -> MiningExecutor | str:
+    """The process-wide default executor spec."""
+    return _DEFAULT_EXECUTOR
+
+
+def set_default_executor(spec: MiningExecutor | str) -> MiningExecutor | str:
+    """Set the process-wide default executor; returns the previous spec.
+
+    Like :func:`repro.core.supportset.set_default_backend`, this lets the
+    harness flip whole experiment runs between backends without threading
+    a parameter through every experiment function.
+    """
+    global _DEFAULT_EXECUTOR
+    previous = _DEFAULT_EXECUTOR
+    if isinstance(spec, str):
+        resolve_executor(spec)  # validate the name
+    _DEFAULT_EXECUTOR = spec
+    return previous

@@ -2,7 +2,7 @@
 
 ``HLH1`` keeps candidate seasonal *single events*:
 
-* ``EH``  (single event hash table): event key -> support-set granules;
+* ``EH``  (single event hash table): event key -> support set granules;
 * ``GH``  (event granule hash table): the event's granules -> the event
   instances occurring there.
 
@@ -17,6 +17,14 @@
 The Python dictionaries are the hash tables; the "hierarchical" linking of
 the paper (EH values are GH keys, EHk values feed PHk, PHk values feed GHk)
 is realized by sharing the same key objects across levels.
+
+Supports are stored as whatever representation the miner hands in --
+:class:`~repro.core.supportset.SupportSet` bitsets on the hot path, plain
+sorted lists in legacy callers; the structures never convert.  The
+``candidates`` / ``groups`` / ``patterns`` views are cached lists that are
+invalidated on insertion: the mining loops read them once per level, and
+rebuilding a fresh list per property access was measurable in the hot
+loops.  Treat the returned lists as read-only.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.pattern import TemporalPattern
+from repro.core.supportset import SupportLike
 from repro.events.event import EventInstance
 
 
@@ -31,20 +40,22 @@ from repro.events.event import EventInstance
 class HLH1:
     """Candidate seasonal single events with their supports and instances."""
 
-    eh: dict[str, list[int]] = field(default_factory=dict)
+    eh: dict[str, SupportLike] = field(default_factory=dict)
     gh: dict[str, dict[int, list[EventInstance]]] = field(default_factory=dict)
+    _candidates: list[str] | None = field(default=None, repr=False, compare=False)
 
     def add_event(
         self,
         event: str,
-        support: list[int],
+        support: SupportLike,
         instances_by_granule: dict[int, list[EventInstance]],
     ) -> None:
         """Insert a candidate single event (Alg. 1 line 4)."""
         self.eh[event] = support
         self.gh[event] = instances_by_granule
+        self._candidates = None
 
-    def support_of(self, event: str) -> list[int]:
+    def support_of(self, event: str) -> SupportLike:
         """Support set of a candidate event (``SUP_E``)."""
         return self.eh[event]
 
@@ -54,8 +65,10 @@ class HLH1:
 
     @property
     def candidates(self) -> list[str]:
-        """The candidate single events F1, in insertion order."""
-        return list(self.eh)
+        """The candidate single events F1, in insertion order (read-only)."""
+        if self._candidates is None:
+            self._candidates = list(self.eh)
+        return self._candidates
 
     def __len__(self) -> int:
         return len(self.eh)
@@ -73,7 +86,7 @@ Assignment = tuple[EventInstance, ...]
 class GroupEntry:
     """The EHk value object: group support + candidate patterns."""
 
-    support: list[int]
+    support: SupportLike
     patterns: list[TemporalPattern] = field(default_factory=list)
 
 
@@ -83,29 +96,33 @@ class HLHk:
 
     k: int
     ehk: dict[tuple[str, ...], GroupEntry] = field(default_factory=dict)
-    phk: dict[TemporalPattern, list[int]] = field(default_factory=dict)
+    phk: dict[TemporalPattern, SupportLike] = field(default_factory=dict)
     ghk: dict[TemporalPattern, dict[int, list[Assignment]]] = field(default_factory=dict)
+    _groups: list[tuple[str, ...]] | None = field(default=None, repr=False, compare=False)
+    _patterns: list[TemporalPattern] | None = field(default=None, repr=False, compare=False)
 
-    def add_group(self, group: tuple[str, ...], support: list[int]) -> GroupEntry:
+    def add_group(self, group: tuple[str, ...], support: SupportLike) -> GroupEntry:
         """Insert a candidate k-event group (Alg. 1 line 12)."""
         entry = GroupEntry(support=support)
         self.ehk[group] = entry
+        self._groups = None
         return entry
 
     def add_pattern(
         self,
         pattern: TemporalPattern,
-        support: list[int],
+        support: SupportLike,
         assignments: dict[int, list[Assignment]],
     ) -> None:
         """Insert a candidate k-event pattern into PHk/GHk and its group."""
         self.phk[pattern] = support
         self.ghk[pattern] = assignments
+        self._patterns = None
         entry = self.ehk.get(pattern.event_group)
         if entry is not None:
             entry.patterns.append(pattern)
 
-    def support_of(self, pattern: TemporalPattern) -> list[int]:
+    def support_of(self, pattern: TemporalPattern) -> SupportLike:
         """Support set of a candidate pattern (``SUP_P``)."""
         return self.phk[pattern]
 
@@ -115,13 +132,17 @@ class HLHk:
 
     @property
     def groups(self) -> list[tuple[str, ...]]:
-        """Candidate k-event groups Fk, in insertion order."""
-        return list(self.ehk)
+        """Candidate k-event groups Fk, in insertion order (read-only)."""
+        if self._groups is None:
+            self._groups = list(self.ehk)
+        return self._groups
 
     @property
     def patterns(self) -> list[TemporalPattern]:
-        """Candidate k-event patterns, in insertion order."""
-        return list(self.phk)
+        """Candidate k-event patterns, in insertion order (read-only)."""
+        if self._patterns is None:
+            self._patterns = list(self.phk)
+        return self._patterns
 
     def events_in_patterns(self) -> set[str]:
         """Single events occurring in any candidate pattern of this level.

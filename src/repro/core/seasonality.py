@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import MiningParams
+from repro.core.supportset import SupportLike, as_positions
 
 
 def max_season(support_size: int, min_density: int) -> float:
@@ -48,8 +49,13 @@ def is_candidate(support_size: int, params: MiningParams) -> bool:
     return max_season(support_size, params.min_density) >= params.min_season
 
 
-def split_near_support_sets(support: list[int], max_period: int) -> list[list[int]]:
-    """Maximal near support sets: split where the period exceeds maxPeriod."""
+def split_near_support_sets(support: SupportLike, max_period: int) -> list[list[int]]:
+    """Maximal near support sets: split where the period exceeds maxPeriod.
+
+    ``support`` may be a plain sorted position list or any
+    :class:`~repro.core.supportset.SupportSet` representation.
+    """
+    support = as_positions(support)
     if not support:
         return []
     sets: list[list[int]] = []
@@ -138,8 +144,14 @@ def _chain_seasons(
     return chains
 
 
-def compute_seasons(support: list[int], params: MiningParams) -> SeasonView:
-    """Full seasonal decomposition of a support set under ``params``."""
+def compute_seasons(support: SupportLike, params: MiningParams) -> SeasonView:
+    """Full seasonal decomposition of a support set under ``params``.
+
+    Accepts a plain sorted position list or either
+    :class:`~repro.core.supportset.SupportSet` representation -- this is
+    the point where a lazily-packed bitset support is materialized.
+    """
+    support = as_positions(support)
     near_sets = split_near_support_sets(support, params.max_period)
     chains = _chain_seasons(near_sets, params)
     best: list[list[int]] = max(chains, key=len) if chains else []
@@ -150,11 +162,11 @@ def compute_seasons(support: list[int], params: MiningParams) -> SeasonView:
     )
 
 
-def count_seasons(support: list[int], params: MiningParams) -> int:
+def count_seasons(support: SupportLike, params: MiningParams) -> int:
     """``seasons(P)`` without materializing the full view."""
     return compute_seasons(support, params).n_seasons
 
 
-def is_frequent_seasonal(support: list[int], params: MiningParams) -> bool:
+def is_frequent_seasonal(support: SupportLike, params: MiningParams) -> bool:
     """Def. 3.15 check: at least ``min_season`` chained seasons."""
     return count_seasons(support, params) >= params.min_season

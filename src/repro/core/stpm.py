@@ -20,6 +20,21 @@ Pruning is controlled by :class:`~repro.core.prune.PruningConfig`:
 ``transitivity`` restricts F1 to events present in HLH_{k-1} patterns
 (Lemmas 3-4).  Both are lossless.
 
+Engine architecture
+-------------------
+Support sets live behind :class:`~repro.core.supportset.SupportSet`
+(big-int bitsets by default, classical sorted lists for parity), so every
+group intersection is a C-level ``&`` and every maxSeason gate a
+``bit_count()``.  The per-group work of step 2.2 -- intersect supports,
+enumerate instance pairs, grow assignments -- is expressed as pure,
+picklable *group tasks* (:func:`mine_pair_task` / :func:`mine_extension_task`
+against a read-only :class:`LevelContext`) dispatched through a
+:class:`~repro.core.executor.MiningExecutor`.  The serial executor
+reproduces the classical single-threaded miner; the parallel executor fans
+the tasks over a process pool.  Outcomes are consumed in task order, so
+the :class:`~repro.core.results.MiningResult` is identical across
+backends.
+
 The optional ``series_filter`` / ``pair_filter`` hooks implement A-STPM's
 search-space reduction (only mine events of correlated series and 2-event
 groups of correlated series pairs); plain E-STPM leaves them ``None``.
@@ -32,6 +47,7 @@ from dataclasses import dataclass, field
 from itertools import combinations, combinations_with_replacement, product
 
 from repro.core.config import MiningParams
+from repro.core.executor import MiningExecutor, get_task_context, resolve_executor
 from repro.core.hlh import HLH1, Assignment, HLHk
 from repro.core.pattern import (
     TemporalPattern,
@@ -43,7 +59,12 @@ from repro.core.pattern import (
 from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult, MiningStats, SeasonalPattern
 from repro.core.seasonality import compute_seasons, is_candidate
-from repro.core.support import intersect_sorted
+from repro.core.supportset import (
+    SupportSet,
+    default_backend,
+    make_support_set,
+    validate_backend,
+)
 from repro.events.event import EventInstance
 from repro.events.relations import relation_of_pair
 from repro.exceptions import MiningError
@@ -53,6 +74,200 @@ from repro.transform.sequence_db import TemporalSequenceDatabase
 def series_of(event: str) -> str:
     """The series name of an event key ``series:symbol``."""
     return event.rsplit(":", 1)[0]
+
+
+# ---------------------------------------------------------------------------
+# Group tasks: the pure, picklable per-group unit of work
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelContext:
+    """Read-only state shared by every group task of one HLH level.
+
+    Shipped once per worker process (pool initializer) rather than once
+    per task; tasks themselves are tiny key tuples into these tables.
+    """
+
+    params: MiningParams
+    apriori: bool
+    hlh1: HLH1
+    previous: HLHk | None = None
+    candidate_triples: frozenset[Triple] | None = None
+
+
+@dataclass(frozen=True)
+class GroupOutcome:
+    """What one group task produced.
+
+    ``support is None`` means the group failed the maxSeason candidate
+    gate and contributes nothing to the level.
+    """
+
+    group: tuple[str, ...]
+    support: SupportSet | None
+    pattern_support: dict[TemporalPattern, list[int]]
+    pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]]
+
+
+def mine_pair_task(task: tuple[str, str]) -> GroupOutcome:
+    """Mine one candidate 2-event group (step 2.2, k = 2).
+
+    Pure function of ``task`` and the installed :class:`LevelContext`:
+    intersects the two event supports, applies the candidate gate, and
+    enumerates every related instance pair per common granule.
+    """
+    context: LevelContext = get_task_context()
+    event_a, event_b = task
+    hlh1 = context.hlh1
+    params = context.params
+    support = hlh1.support_of(event_a) & hlh1.support_of(event_b)
+    if context.apriori and not is_candidate(len(support), params):
+        return GroupOutcome((event_a, event_b), None, {}, {})
+    pattern_support: dict[TemporalPattern, list[int]] = {}
+    pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
+    for granule in support:
+        instances_a = hlh1.instances_of(event_a, granule)
+        if event_a == event_b:
+            pairs = combinations(instances_a, 2)
+        else:
+            pairs = product(instances_a, hlh1.instances_of(event_b, granule))
+        for a, b in pairs:
+            located = relation_of_pair(a, b, params.relation)
+            if located is None:
+                continue
+            relation, earlier, later = located
+            pattern = TemporalPattern(
+                (earlier.event, later.event),
+                (Triple(relation, earlier.event, later.event),),
+            )
+            support_list = pattern_support.setdefault(pattern, [])
+            if not support_list or support_list[-1] != granule:
+                support_list.append(granule)
+            pattern_assignments.setdefault(pattern, {}).setdefault(
+                granule, []
+            ).append((earlier, later))
+    return GroupOutcome((event_a, event_b), support, pattern_support, pattern_assignments)
+
+
+def mine_extension_task(task: tuple[tuple[str, ...], str]) -> GroupOutcome:
+    """Mine one candidate k-event group (step 2.2, k >= 3).
+
+    Pure function of ``task`` and the installed :class:`LevelContext`:
+    intersects the parent group's support with the new event's, applies
+    the candidate gate, and extends the parent's pattern assignments.
+    """
+    context: LevelContext = get_task_context()
+    group_prev, event = task
+    entry_prev = context.previous.ehk[group_prev]
+    group = tuple(sorted(group_prev + (event,)))
+    support = entry_prev.support & context.hlh1.support_of(event)
+    if context.apriori and not is_candidate(len(support), context.params):
+        return GroupOutcome(group, None, {}, {})
+    pattern_support, pattern_assignments = extend_group_patterns(
+        context.hlh1,
+        context.previous,
+        entry_prev,
+        event,
+        context.candidate_triples,
+        context.params,
+        context.apriori,
+    )
+    return GroupOutcome(group, support, pattern_support, pattern_assignments)
+
+
+def extend_group_patterns(
+    hlh1: HLH1,
+    previous: HLHk,
+    entry_prev,
+    event: str,
+    candidate_triples: frozenset[Triple] | None,
+    params: MiningParams,
+    check_candidates: bool,
+) -> tuple[
+    dict[TemporalPattern, list[int]],
+    dict[TemporalPattern, dict[int, list[Assignment]]],
+]:
+    """Extend every candidate pattern of one parent group with ``event``.
+
+    This is the Iterative Check of Sec. IV-D 4.2.2: each new relation
+    triple between an existing event and the new event must already be
+    a candidate 2-event pattern, otherwise the extension is discarded.
+    """
+    relation = params.relation
+    # Keyed by (events, triples) plain tuples in the hot loop; converted
+    # to TemporalPattern objects once per unique pattern at the end.
+    accumulator: dict[tuple, dict[int, set[Assignment]]] = {}
+    # Per-granule cache of oriented relation triples: each (existing
+    # instance, new instance) pair is related exactly once even though
+    # it appears in many parent assignments.
+    pair_cache: dict[int, dict[tuple[EventInstance, EventInstance], tuple | None]] = {}
+    event_support = hlh1.support_of(event)
+    for pattern_prev in entry_prev.patterns:
+        prev_events = pattern_prev.events
+        prev_triples = pattern_prev.triples
+        k = len(prev_events) + 1
+        common = previous.support_of(pattern_prev) & event_support
+        for granule in common:
+            new_instances = hlh1.instances_of(event, granule)
+            cache = pair_cache.setdefault(granule, {})
+            for assignment in previous.assignments_of(pattern_prev, granule):
+                for instance in new_instances:
+                    if instance in assignment:
+                        continue
+                    position = 0
+                    partner: list[Triple] = []
+                    valid = True
+                    for existing in assignment:
+                        pair = (existing, instance)
+                        info = cache.get(pair, False)
+                        if info is False:
+                            info = oriented_triple(existing, instance, relation)
+                            cache[pair] = info
+                        if info is None:
+                            valid = False
+                            break
+                        existing_first, triple = info
+                        if existing_first:
+                            position += 1
+                        if check_candidates and triple not in candidate_triples:
+                            valid = False
+                            break
+                        partner.append(triple)
+                    if not valid:
+                        continue
+                    events = (
+                        prev_events[:position]
+                        + (instance.event,)
+                        + prev_events[position:]
+                    )
+                    triples = splice_triples(prev_triples, partner, position, k)
+                    ordered = (
+                        assignment[:position]
+                        + (instance,)
+                        + assignment[position:]
+                    )
+                    # The same assignment can be reached through two
+                    # parent patterns when the new pattern embeds the
+                    # parent group's events in more than one way, so
+                    # deduplicate per granule.
+                    per_granule = accumulator.setdefault((events, triples), {})
+                    per_granule.setdefault(granule, set()).add(ordered)
+    pattern_support: dict[TemporalPattern, list[int]] = {}
+    pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
+    for (events, triples), per_granule in accumulator.items():
+        pattern = TemporalPattern(events, triples)
+        pattern_support[pattern] = sorted(per_granule)
+        pattern_assignments[pattern] = {
+            granule: sorted(assignments)
+            for granule, assignments in per_granule.items()
+        }
+    return pattern_support, pattern_assignments
+
+
+# ---------------------------------------------------------------------------
+# The miner
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -76,6 +291,17 @@ class ESTPM:
     event_filter:
         If set, only these event keys are mined (the event-level pruning
         extension of A-STPM).
+    support_backend:
+        Physical support-set representation: ``"bitset"`` (big-int bitsets,
+        the default) or ``"list"`` (classical sorted lists).  ``None``
+        resolves to the process-wide default.
+    executor:
+        Execution backend for the per-group work: ``"serial"``,
+        ``"parallel"``, a :class:`~repro.core.executor.MiningExecutor`
+        instance, or ``None`` for the process-wide default.  All backends
+        return identical results.
+    n_workers:
+        Worker processes when ``executor="parallel"`` (default: all cores).
     """
 
     dseq: TemporalSequenceDatabase
@@ -84,25 +310,31 @@ class ESTPM:
     series_filter: set[str] | None = None
     pair_filter: set[frozenset[str]] | None = None
     event_filter: set[str] | None = None
+    support_backend: str | None = None
+    executor: MiningExecutor | str | None = None
+    n_workers: int | None = None
 
     def mine(self) -> MiningResult:
         """Run the full mining process and return all frequent seasonal
         patterns of length 1..max_pattern_length."""
         started = time.perf_counter()
+        backend = validate_backend(self.support_backend or default_backend())
+        runner = resolve_executor(self.executor, self.n_workers)
         stats = MiningStats(n_granules=len(self.dseq))
         patterns: list[SeasonalPattern] = []
 
-        hlh1 = self._mine_single_events(patterns, stats)
+        hlh1 = self._mine_single_events(backend, patterns, stats)
         levels: dict[int, HLHk] = {}
         if self.params.max_pattern_length >= 2:
-            hlh2 = self._mine_two_event_patterns(hlh1, patterns, stats)
+            hlh2 = self._mine_two_event_patterns(hlh1, runner, backend, patterns, stats)
             levels[2] = hlh2
-            candidate_triples = {p.triples[0] for p in hlh2.phk}
+            candidate_triples = frozenset(p.triples[0] for p in hlh2.phk)
             previous = hlh2
             k = 3
             while k <= self.params.max_pattern_length and previous.phk:
                 current = self._mine_k_event_patterns(
-                    hlh1, previous, candidate_triples, k, patterns, stats
+                    hlh1, previous, candidate_triples, k, runner, backend,
+                    patterns, stats,
                 )
                 levels[k] = current
                 previous = current
@@ -116,11 +348,11 @@ class ESTPM:
     # ------------------------------------------------------------------
 
     def _mine_single_events(
-        self, patterns: list[SeasonalPattern], stats: MiningStats
+        self, backend: str, patterns: list[SeasonalPattern], stats: MiningStats
     ) -> HLH1:
         hlh1 = HLH1()
         params = self.params
-        for event, support in sorted(self.dseq.event_support().items()):
+        for event, support in sorted(self.dseq.event_support(backend).items()):
             if self.series_filter is not None and series_of(event) not in self.series_filter:
                 stats.n_events_pruned += 1
                 continue
@@ -155,45 +387,32 @@ class ESTPM:
         return frozenset((series_a, series_b)) in self.pair_filter
 
     def _mine_two_event_patterns(
-        self, hlh1: HLH1, patterns: list[SeasonalPattern], stats: MiningStats
+        self,
+        hlh1: HLH1,
+        runner: MiningExecutor,
+        backend: str,
+        patterns: list[SeasonalPattern],
+        stats: MiningStats,
     ) -> HLHk:
-        params = self.params
         hlh2 = HLHk(k=2)
         f1 = sorted(hlh1.candidates)
+        tasks: list[tuple[str, str]] = []
         for event_a, event_b in combinations_with_replacement(f1, 2):
             if not self._pair_allowed(event_a, event_b):
                 continue
             stats.bump(stats.n_groups_generated, 2)
-            support = intersect_sorted(hlh1.support_of(event_a), hlh1.support_of(event_b))
-            if self.pruning.apriori and not is_candidate(len(support), params):
+            tasks.append((event_a, event_b))
+        context = LevelContext(
+            params=self.params, apriori=self.pruning.apriori, hlh1=hlh1
+        )
+        for outcome in runner.map_tasks(mine_pair_task, tasks, context):
+            if outcome.support is None:
                 continue
-            hlh2.add_group((event_a, event_b), support)
+            hlh2.add_group(outcome.group, outcome.support)
             stats.bump(stats.n_candidate_groups, 2)
-            pattern_support: dict[TemporalPattern, list[int]] = {}
-            pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
-            for granule in support:
-                instances_a = hlh1.instances_of(event_a, granule)
-                if event_a == event_b:
-                    pairs = combinations(instances_a, 2)
-                else:
-                    pairs = product(instances_a, hlh1.instances_of(event_b, granule))
-                for a, b in pairs:
-                    located = relation_of_pair(a, b, params.relation)
-                    if located is None:
-                        continue
-                    relation, earlier, later = located
-                    pattern = TemporalPattern(
-                        (earlier.event, later.event),
-                        (Triple(relation, earlier.event, later.event),),
-                    )
-                    support_list = pattern_support.setdefault(pattern, [])
-                    if not support_list or support_list[-1] != granule:
-                        support_list.append(granule)
-                    pattern_assignments.setdefault(pattern, {}).setdefault(
-                        granule, []
-                    ).append((earlier, later))
             self._register_patterns(
-                hlh2, pattern_support, pattern_assignments, patterns, stats
+                hlh2, backend, outcome.pattern_support,
+                outcome.pattern_assignments, patterns, stats,
             )
         return hlh2
 
@@ -205,21 +424,22 @@ class ESTPM:
         self,
         hlh1: HLH1,
         previous: HLHk,
-        candidate_triples: set[Triple],
+        candidate_triples: frozenset[Triple],
         k: int,
+        runner: MiningExecutor,
+        backend: str,
         patterns: list[SeasonalPattern],
         stats: MiningStats,
     ) -> HLHk:
-        params = self.params
         hlhk = HLHk(k=k)
         if self.pruning.transitivity:
             filtered_f1 = sorted(previous.events_in_patterns())
         else:
             filtered_f1 = sorted(hlh1.candidates)
         seen_groups: set[tuple[str, ...]] = set()
+        tasks: list[tuple[tuple[str, ...], str]] = []
         for group_prev in previous.groups:
-            entry_prev = previous.ehk[group_prev]
-            if not entry_prev.patterns:
+            if not previous.ehk[group_prev].patterns:
                 continue
             for event in filtered_f1:
                 group = tuple(sorted(group_prev + (event,)))
@@ -227,106 +447,24 @@ class ESTPM:
                     continue
                 seen_groups.add(group)
                 stats.bump(stats.n_groups_generated, k)
-                support = intersect_sorted(entry_prev.support, hlh1.support_of(event))
-                if self.pruning.apriori and not is_candidate(len(support), params):
-                    continue
-                hlhk.add_group(group, support)
-                stats.bump(stats.n_candidate_groups, k)
-                pattern_support, pattern_assignments = self._extend_patterns(
-                    hlh1, previous, entry_prev, event, candidate_triples
-                )
-                self._register_patterns(
-                    hlhk, pattern_support, pattern_assignments, patterns, stats
-                )
+                tasks.append((group_prev, event))
+        context = LevelContext(
+            params=self.params,
+            apriori=self.pruning.apriori,
+            hlh1=hlh1,
+            previous=previous,
+            candidate_triples=candidate_triples,
+        )
+        for outcome in runner.map_tasks(mine_extension_task, tasks, context):
+            if outcome.support is None:
+                continue
+            hlhk.add_group(outcome.group, outcome.support)
+            stats.bump(stats.n_candidate_groups, k)
+            self._register_patterns(
+                hlhk, backend, outcome.pattern_support,
+                outcome.pattern_assignments, patterns, stats,
+            )
         return hlhk
-
-    def _extend_patterns(
-        self,
-        hlh1: HLH1,
-        previous: HLHk,
-        entry_prev,
-        event: str,
-        candidate_triples: set[Triple],
-    ) -> tuple[
-        dict[TemporalPattern, list[int]],
-        dict[TemporalPattern, dict[int, list[Assignment]]],
-    ]:
-        """Extend every candidate pattern of one parent group with ``event``.
-
-        This is the Iterative Check of Sec. IV-D 4.2.2: each new relation
-        triple between an existing event and the new event must already be
-        a candidate 2-event pattern, otherwise the extension is discarded.
-        """
-        relation = self.params.relation
-        check_candidates = self.pruning.apriori
-        # Keyed by (events, triples) plain tuples in the hot loop; converted
-        # to TemporalPattern objects once per unique pattern at the end.
-        accumulator: dict[tuple, dict[int, set[Assignment]]] = {}
-        # Per-granule cache of oriented relation triples: each (existing
-        # instance, new instance) pair is related exactly once even though
-        # it appears in many parent assignments.
-        pair_cache: dict[int, dict[tuple[EventInstance, EventInstance], tuple | None]] = {}
-        event_support = hlh1.support_of(event)
-        for pattern_prev in entry_prev.patterns:
-            prev_events = pattern_prev.events
-            prev_triples = pattern_prev.triples
-            k = len(prev_events) + 1
-            common = intersect_sorted(previous.support_of(pattern_prev), event_support)
-            for granule in common:
-                new_instances = hlh1.instances_of(event, granule)
-                cache = pair_cache.setdefault(granule, {})
-                for assignment in previous.assignments_of(pattern_prev, granule):
-                    for instance in new_instances:
-                        if instance in assignment:
-                            continue
-                        position = 0
-                        partner: list[Triple] = []
-                        valid = True
-                        for existing in assignment:
-                            pair = (existing, instance)
-                            info = cache.get(pair, False)
-                            if info is False:
-                                info = oriented_triple(existing, instance, relation)
-                                cache[pair] = info
-                            if info is None:
-                                valid = False
-                                break
-                            existing_first, triple = info
-                            if existing_first:
-                                position += 1
-                            if check_candidates and triple not in candidate_triples:
-                                valid = False
-                                break
-                            partner.append(triple)
-                        if not valid:
-                            continue
-                        events = (
-                            prev_events[:position]
-                            + (instance.event,)
-                            + prev_events[position:]
-                        )
-                        triples = splice_triples(prev_triples, partner, position, k)
-                        ordered = (
-                            assignment[:position]
-                            + (instance,)
-                            + assignment[position:]
-                        )
-                        # The same assignment can be reached through two
-                        # parent patterns when the new pattern embeds the
-                        # parent group's events in more than one way, so
-                        # deduplicate per granule.
-                        per_granule = accumulator.setdefault((events, triples), {})
-                        per_granule.setdefault(granule, set()).add(ordered)
-        pattern_support: dict[TemporalPattern, list[int]] = {}
-        pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
-        for (events, triples), per_granule in accumulator.items():
-            pattern = TemporalPattern(events, triples)
-            pattern_support[pattern] = sorted(per_granule)
-            pattern_assignments[pattern] = {
-                granule: sorted(assignments)
-                for granule, assignments in per_granule.items()
-            }
-        return pattern_support, pattern_assignments
 
     # ------------------------------------------------------------------
     # Shared registration of candidate + frequent patterns
@@ -335,6 +473,7 @@ class ESTPM:
     def _register_patterns(
         self,
         hlhk: HLHk,
+        backend: str,
         pattern_support: dict[TemporalPattern, list[int]],
         pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]],
         patterns: list[SeasonalPattern],
@@ -344,7 +483,11 @@ class ESTPM:
         for pattern, support in pattern_support.items():
             if self.pruning.apriori and not is_candidate(len(support), params):
                 continue
-            hlhk.add_pattern(pattern, support, pattern_assignments[pattern])
+            hlhk.add_pattern(
+                pattern,
+                make_support_set(support, backend),
+                pattern_assignments[pattern],
+            )
             stats.bump(stats.n_candidate_patterns, hlhk.k)
             view = compute_seasons(support, params)
             if view.n_seasons >= params.min_season:

@@ -1,0 +1,269 @@
+"""Support-set engine: one algebra, two physical representations.
+
+A support set (paper Def. 3.12) is the increasing set of granule positions
+where an event, group, or pattern occurs.  The miners only ever need three
+operations on it:
+
+* **intersection** -- every candidate group in ``EHk`` is born from one
+  (Sec. IV-D 4.1);
+* **cardinality** -- the ``|SUP|`` of the maxSeason gate (Eq. (1));
+* **ascending iteration** -- only when seasons are materialized or the
+  group's granules are walked for instance enumeration.
+
+:class:`SupportSet` abstracts those behind one interface with two backends:
+
+* :class:`BitsetSupportSet` packs the positions into one Python big int
+  (bit ``p`` set <=> granule ``p`` is in the set), so intersection is a
+  single C-level ``&`` and cardinality a single ``int.bit_count()`` --
+  the hot-path representation;
+* :class:`ListSupportSet` keeps the classical sorted ``tuple[int]`` with a
+  two-pointer merge, retained behind the same interface as the parity /
+  fallback path.
+
+Both compare equal to plain position lists/tuples so existing callers and
+tests that treat support sets as sorted lists keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.core.support import intersect_sorted
+from repro.exceptions import ConfigError
+
+#: Backend names accepted everywhere a representation can be chosen.
+BACKEND_BITSET = "bitset"
+BACKEND_LIST = "list"
+SUPPORT_BACKENDS = (BACKEND_BITSET, BACKEND_LIST)
+
+#: Anything the algebra accepts where a support set is expected.
+SupportLike = Union["SupportSet", Sequence[int]]
+
+
+class SupportSet:
+    """Common interface of both support-set representations.
+
+    Instances behave like immutable sorted sequences of granule positions:
+    they are sized, iterable (ascending), indexable, and compare equal to
+    plain lists/tuples with the same positions.  Subclasses implement the
+    physical storage and the intersection.
+    """
+
+    __slots__ = ()
+
+    #: Name of the physical representation ("bitset" / "list").
+    backend = "abstract"
+
+    def positions(self) -> tuple[int, ...]:
+        """The positions as an ascending tuple (materializing if needed)."""
+        raise NotImplementedError
+
+    def intersect(self, other: SupportLike) -> "SupportSet":
+        """The intersection, in this set's representation."""
+        raise NotImplementedError
+
+    def __and__(self, other: SupportLike) -> "SupportSet":
+        """``a & b`` -- operator alias of :meth:`intersect`."""
+        return self.intersect(other)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.positions())
+
+    def __getitem__(self, index):
+        """Indexing and slicing over the materialized positions."""
+        result = self.positions()[index]
+        return list(result) if isinstance(index, slice) else result
+
+    def __contains__(self, position: int) -> bool:
+        return position in self.positions()
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __eq__(self, other) -> bool:
+        """Equal to any SupportSet / list / tuple with the same positions."""
+        if isinstance(other, SupportSet):
+            return self.positions() == other.positions()
+        if isinstance(other, (list, tuple, range)):
+            return list(self.positions()) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.positions())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({list(self.positions())!r})"
+
+
+class BitsetSupportSet(SupportSet):
+    """Support set packed into one Python big int.
+
+    Bit ``p`` of ``bits`` is set iff granule position ``p`` belongs to the
+    set.  Positions are 1-based (bit 0 is never set by the miners, but the
+    representation does not care).  Intersection and cardinality never
+    materialize the positions; iteration does, once, and caches the tuple.
+    """
+
+    __slots__ = ("bits", "_cached")
+
+    backend = BACKEND_BITSET
+
+    def __init__(self, bits: int = 0):
+        if bits < 0:
+            raise ConfigError("support bitset cannot be negative")
+        self.bits = bits
+        self._cached: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_positions(cls, positions: Iterable[int]) -> "BitsetSupportSet":
+        """Pack an iterable of non-negative positions into a bitset."""
+        bits = 0
+        for position in positions:
+            bits |= 1 << position
+        return cls(bits)
+
+    def positions(self) -> tuple[int, ...]:
+        if self._cached is None:
+            out: list[int] = []
+            bits = self.bits
+            while bits:
+                low = bits & -bits
+                out.append(low.bit_length() - 1)
+                bits ^= low
+            self._cached = tuple(out)
+        return self._cached
+
+    def intersect(self, other: SupportLike) -> "BitsetSupportSet":
+        if isinstance(other, BitsetSupportSet):
+            return BitsetSupportSet(self.bits & other.bits)
+        return BitsetSupportSet(self.bits & _as_bits(other))
+
+    def __len__(self) -> int:
+        return self.bits.bit_count()
+
+    def __contains__(self, position: int) -> bool:
+        return position >= 0 and (self.bits >> position) & 1 == 1
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __reduce__(self):
+        return (BitsetSupportSet, (self.bits,))
+
+
+class ListSupportSet(SupportSet):
+    """Support set stored as the classical ascending position tuple."""
+
+    __slots__ = ("_positions",)
+
+    backend = BACKEND_LIST
+
+    def __init__(self, positions: Iterable[int] = ()):
+        self._positions = tuple(positions)
+
+    @classmethod
+    def from_positions(cls, positions: Iterable[int]) -> "ListSupportSet":
+        """Wrap an iterable of positions, normalizing to ascending unique.
+
+        The miners always hand in ascending runs (the common case costs
+        one linear scan); arbitrary iterables are sorted and deduplicated
+        so both backends represent the same logical set.
+        """
+        ordered = tuple(positions)
+        if any(a >= b for a, b in zip(ordered, ordered[1:])):
+            ordered = tuple(sorted(set(ordered)))
+        return cls(ordered)
+
+    def positions(self) -> tuple[int, ...]:
+        return self._positions
+
+    def intersect(self, other: SupportLike) -> "ListSupportSet":
+        return ListSupportSet(
+            intersect_sorted(list(self._positions), list(as_positions(other)))
+        )
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __reduce__(self):
+        return (ListSupportSet, (self._positions,))
+
+
+_BACKEND_CLASSES = {
+    BACKEND_BITSET: BitsetSupportSet,
+    BACKEND_LIST: ListSupportSet,
+}
+
+#: Process-wide default representation (see :func:`set_default_backend`).
+_DEFAULT_BACKEND = BACKEND_BITSET
+
+
+def _as_bits(support: SupportLike) -> int:
+    """The big-int bitmask of any support-like value."""
+    if isinstance(support, BitsetSupportSet):
+        return support.bits
+    bits = 0
+    for position in as_positions(support):
+        bits |= 1 << position
+    return bits
+
+
+def as_positions(support: SupportLike) -> Sequence[int]:
+    """A sorted position sequence view of any support-like value.
+
+    ``SupportSet`` inputs materialize (cached); plain sequences pass
+    through untouched, so pre-existing list-based callers pay nothing.
+    """
+    if isinstance(support, SupportSet):
+        return support.positions()
+    return support
+
+
+def as_support_list(support: SupportLike) -> list[int]:
+    """A plain ``list[int]`` copy of any support-like value."""
+    return list(as_positions(support))
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if known, raise :class:`ConfigError` otherwise."""
+    if backend not in _BACKEND_CLASSES:
+        raise ConfigError(
+            f"unknown support backend {backend!r}; choose from {SUPPORT_BACKENDS}"
+        )
+    return backend
+
+
+def make_support_set(positions: Iterable[int], backend: str | None = None) -> SupportSet:
+    """Build a support set in the requested (or default) representation."""
+    backend = validate_backend(backend or _DEFAULT_BACKEND)
+    return _BACKEND_CLASSES[backend].from_positions(positions)
+
+
+def coerce_support_set(support: SupportLike, backend: str | None = None) -> SupportSet:
+    """Return ``support`` unchanged when already in the right representation,
+    otherwise re-pack it into the requested (or default) backend."""
+    backend = validate_backend(backend or _DEFAULT_BACKEND)
+    if isinstance(support, SupportSet) and support.backend == backend:
+        return support
+    return make_support_set(as_positions(support), backend)
+
+
+def default_backend() -> str:
+    """The process-wide default support representation."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default representation; returns the old one.
+
+    The harness uses this to flip whole experiment runs between the bitset
+    and the sorted-list engine without threading a parameter through every
+    experiment function.
+    """
+    global _DEFAULT_BACKEND
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = validate_backend(backend)
+    return previous

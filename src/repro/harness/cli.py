@@ -10,6 +10,13 @@ Subcommands
     Run every experiment.
 ``mine --dataset RE --min-season 6 ...``
     One-off mining run printing the found seasonal patterns.
+
+Engine selection
+----------------
+Every mining subcommand accepts ``--executor serial|parallel`` (with
+``--workers N`` for the pool size) and ``--support-backend bitset|list``
+to pick the execution backend and the physical support-set
+representation.  All combinations return identical pattern sets.
 """
 
 from __future__ import annotations
@@ -18,10 +25,12 @@ import argparse
 import sys
 
 from repro.core.approximate import ASTPM
+from repro.core.executor import EXECUTOR_BACKENDS, EXECUTOR_PARALLEL, ParallelExecutor
 from repro.core.stpm import ESTPM
+from repro.core.supportset import SUPPORT_BACKENDS
 from repro.datasets.registry import DATASET_BUILDERS, PROFILES, load_dataset
 from repro.harness.experiments import EXPERIMENTS, run_experiment
-from repro.harness.runner import run_all
+from repro.harness.runner import engine_defaults, run_all
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,14 +41,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_arguments(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--executor",
+            default=None,
+            choices=sorted(EXECUTOR_BACKENDS),
+            help="execution backend for the per-group mining work",
+        )
+        command_parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes for --executor parallel (default: all cores)",
+        )
+        command_parser.add_argument(
+            "--support-backend",
+            default=None,
+            choices=sorted(SUPPORT_BACKENDS),
+            help="physical support-set representation",
+        )
+
     sub.add_parser("list", help="list experiments and datasets")
 
     run_parser = sub.add_parser("run", help="run specific experiments")
     run_parser.add_argument("ids", nargs="+", help="experiment ids, e.g. T9 F7")
     run_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    add_engine_arguments(run_parser)
 
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    add_engine_arguments(all_parser)
 
     mine_parser = sub.add_parser("mine", help="one-off mining run")
     mine_parser.add_argument("--dataset", default="RE", choices=sorted(DATASET_BUILDERS))
@@ -49,7 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--max-period-pct", type=float, default=0.4)
     mine_parser.add_argument("--approximate", action="store_true", help="use A-STPM")
     mine_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
+    add_engine_arguments(mine_parser)
     return parser
+
+
+def _executor_spec(args):
+    """The executor spec of parsed engine flags (honoring ``--workers``).
+
+    An explicit invalid worker count (e.g. ``--workers 0``) must reach
+    :class:`ParallelExecutor` and be rejected there, not be silently
+    reinterpreted as "all cores".
+    """
+    if args.executor == EXECUTOR_PARALLEL and args.workers is not None:
+        return ParallelExecutor(max_workers=args.workers)
+    return args.executor
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,12 +108,17 @@ def main(argv: list[str] | None = None) -> int:
         print("Profiles:", ", ".join(sorted(PROFILES)))
         return 0
     if args.command == "run":
-        for artifact_id in args.ids:
-            print(run_experiment(artifact_id, profile=args.profile).render())
-            print()
+        with engine_defaults(_executor_spec(args), args.support_backend):
+            for artifact_id in args.ids:
+                print(run_experiment(artifact_id, profile=args.profile).render())
+                print()
         return 0
     if args.command == "all":
-        run_all(profile=args.profile)
+        run_all(
+            profile=args.profile,
+            executor=_executor_spec(args),
+            support_backend=args.support_backend,
+        )
         return 0
     if args.command == "mine":
         dataset = load_dataset(args.dataset, args.profile)
@@ -78,10 +127,17 @@ def main(argv: list[str] | None = None) -> int:
             min_density_pct=args.min_density_pct,
             min_season=args.min_season,
         )
+        engine = dict(
+            support_backend=args.support_backend,
+            executor=args.executor,
+            n_workers=args.workers,
+        )
         if args.approximate:
-            result = ASTPM(dataset.dsyb, dataset.ratio, params, dseq=dataset.dseq()).mine()
+            result = ASTPM(
+                dataset.dsyb, dataset.ratio, params, dseq=dataset.dseq(), **engine
+            ).mine()
         else:
-            result = ESTPM(dataset.dseq(), params).mine()
+            result = ESTPM(dataset.dseq(), params, **engine).mine()
         print(
             f"{len(result)} frequent seasonal patterns on {args.dataset} "
             f"({args.profile}) in {result.stats.mining_seconds:.2f}s"

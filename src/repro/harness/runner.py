@@ -4,31 +4,66 @@ from __future__ import annotations
 
 import sys
 import time
+from contextlib import contextmanager
 from typing import Iterable, TextIO
 
+from repro.core.executor import MiningExecutor, set_default_executor
+from repro.core.supportset import set_default_backend
 from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+
+@contextmanager
+def engine_defaults(
+    executor: MiningExecutor | str | None = None,
+    support_backend: str | None = None,
+):
+    """Temporarily set the process-wide mining engine defaults.
+
+    The experiment functions build their miners internally, so the harness
+    selects the execution backend (``serial`` / ``parallel``) and the
+    support-set representation (``bitset`` / ``list``) through the
+    process-wide defaults rather than threading two extra parameters
+    through every experiment signature.  Restores the previous defaults
+    on exit.
+    """
+    previous_executor = previous_backend = None
+    try:
+        if executor is not None:
+            previous_executor = set_default_executor(executor)
+        if support_backend is not None:
+            previous_backend = set_default_backend(support_backend)
+        yield
+    finally:
+        if previous_executor is not None:
+            set_default_executor(previous_executor)
+        if previous_backend is not None:
+            set_default_backend(previous_backend)
 
 
 def run_all(
     artifact_ids: Iterable[str] | None = None,
     profile: str = "bench",
     stream: TextIO | None = None,
+    executor: MiningExecutor | str | None = None,
+    support_backend: str | None = None,
 ) -> dict[str, str]:
     """Run the requested experiments and return ``{id: rendered_output}``.
 
     Outputs are streamed to ``stream`` (default stdout) as they complete so
-    long runs show progress.
+    long runs show progress.  ``executor`` / ``support_backend`` select the
+    mining engine backends for the whole run (see :func:`engine_defaults`).
     """
     stream = stream or sys.stdout
     ids = list(artifact_ids) if artifact_ids is not None else sorted(EXPERIMENTS)
     outputs: dict[str, str] = {}
-    for artifact_id in ids:
-        started = time.perf_counter()
-        result = run_experiment(artifact_id, profile=profile)
-        rendered = result.render()
-        elapsed = time.perf_counter() - started
-        outputs[artifact_id] = rendered
-        print(f"\n### {artifact_id} (completed in {elapsed:.1f}s)\n", file=stream)
-        print(rendered, file=stream)
-        stream.flush()
+    with engine_defaults(executor, support_backend):
+        for artifact_id in ids:
+            started = time.perf_counter()
+            result = run_experiment(artifact_id, profile=profile)
+            rendered = result.render()
+            elapsed = time.perf_counter() - started
+            outputs[artifact_id] = rendered
+            print(f"\n### {artifact_id} (completed in {elapsed:.1f}s)\n", file=stream)
+            print(rendered, file=stream)
+            stream.flush()
     return outputs

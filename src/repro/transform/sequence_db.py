@@ -15,6 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.supportset import (
+    SupportSet,
+    default_backend,
+    make_support_set,
+    validate_backend,
+)
 from repro.events.event import EventInstance
 from repro.events.sequence import TemporalSequence
 from repro.exceptions import TransformError
@@ -39,7 +45,7 @@ class TemporalSequenceDatabase:
     rows: list[TemporalSequence]
     ratio: int
     source_names: list[str] = field(default_factory=list)
-    _event_support: dict[str, list[int]] = field(
+    _support_cache: dict[str, dict[str, SupportSet]] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -57,19 +63,29 @@ class TemporalSequenceDatabase:
             )
         return self.rows[position - 1]
 
-    def event_support(self) -> dict[str, list[int]]:
-        """Support set per event: sorted granule positions where it occurs.
+    def event_support(self, backend: str | None = None) -> dict[str, SupportSet]:
+        """Support set per event, as :class:`SupportSet` objects.
 
         This is the ``SUP_E`` of Def. 3.12 for every event, computed with a
-        single scan of DSEQ (as Alg. 1 step 2.1 requires) and cached.
+        single scan of DSEQ (as Alg. 1 step 2.1 requires) and cached per
+        representation.  ``backend`` picks the physical representation
+        (``"bitset"`` / ``"list"``; default: the process-wide default).
+        The returned sets compare equal to plain sorted position lists, so
+        list-based callers keep working unchanged.
         """
-        if not self._event_support:
-            support: dict[str, list[int]] = {}
+        backend = validate_backend(backend or default_backend())
+        cached = self._support_cache.get(backend)
+        if cached is None:
+            positions: dict[str, list[int]] = {}
             for row in self.rows:
                 for event in row.events():
-                    support.setdefault(event, []).append(row.position)
-            self._event_support = support
-        return self._event_support
+                    positions.setdefault(event, []).append(row.position)
+            cached = {
+                event: make_support_set(granules, backend)
+                for event, granules in positions.items()
+            }
+            self._support_cache[backend] = cached
+        return cached
 
     def events(self) -> list[str]:
         """All distinct event keys occurring anywhere in DSEQ."""

@@ -1,0 +1,165 @@
+"""Executor backends: unit behavior + serial/parallel mining parity.
+
+The headline guarantee: a :class:`MiningResult` is *identical* -- same
+patterns, same supports, same season views, same order, same counters --
+whichever executor and support representation ran the mining.  The parity
+tests assert it on the paper's running example and on every seed dataset.
+"""
+
+import pytest
+
+from repro.core.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_executor,
+    get_task_context,
+    resolve_executor,
+    set_default_executor,
+)
+from repro.core.stpm import ESTPM
+from repro.core.approximate import ASTPM
+from repro.datasets import load_dataset
+from repro.exceptions import ConfigError
+
+
+def _double(task):
+    """Module-level task fn so the process pool can pickle it."""
+    return task * 2
+
+
+def _read_context(task):
+    """Return the installed task context plus the task."""
+    return (get_task_context(), task)
+
+
+def _result_key(result):
+    """Everything observable about a mining result, order-sensitive."""
+    return (
+        [(sp.pattern, sp.seasons) for sp in result.patterns],
+        result.stats.n_granules,
+        result.stats.n_events_scanned,
+        result.stats.n_candidate_events,
+        result.stats.n_groups_generated,
+        result.stats.n_candidate_groups,
+        result.stats.n_candidate_patterns,
+        result.stats.n_frequent,
+    )
+
+
+class TestExecutors:
+    def test_serial_preserves_order_and_context(self):
+        outcomes = list(
+            SerialExecutor().map_tasks(_read_context, [1, 2, 3], "ctx")
+        )
+        assert outcomes == [("ctx", 1), ("ctx", 2), ("ctx", 3)]
+
+    def test_serial_clears_context_after_exhaustion(self):
+        list(SerialExecutor().map_tasks(_double, [1], {"big": "state"}))
+        assert get_task_context() is None
+
+    def test_serial_is_lazy(self):
+        seen = []
+
+        def _record(task):
+            seen.append(task)
+            return task
+
+        iterator = SerialExecutor().map_tasks(_record, [1, 2, 3], None)
+        assert seen == []  # nothing ran yet
+        assert next(iterator) == 1
+        assert seen == [1]  # one group at a time, classical memory profile
+        assert list(iterator) == [2, 3]
+
+    def test_parallel_preserves_order(self):
+        outcomes = list(
+            ParallelExecutor(max_workers=2, min_tasks=1).map_tasks(
+                _double, list(range(20)), None
+            )
+        )
+        assert outcomes == [task * 2 for task in range(20)]
+
+    def test_parallel_ships_context_to_workers(self):
+        outcomes = list(
+            ParallelExecutor(max_workers=2, min_tasks=1).map_tasks(
+                _read_context, [7], {"key": "value"}
+            )
+        )
+        assert outcomes == [({"key": "value"}, 7)]
+
+    def test_parallel_small_levels_run_serially(self):
+        executor = ParallelExecutor(max_workers=4, min_tasks=100)
+        assert list(executor.map_tasks(_double, [3], None)) == [6]
+
+    def test_parallel_rejects_bad_settings(self):
+        with pytest.raises(ConfigError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ConfigError):
+            ParallelExecutor(chunk_size=0)
+
+    def test_chunk_heuristic(self):
+        executor = ParallelExecutor(max_workers=2)
+        assert executor._chunk(8) == 1
+        assert executor._chunk(800) == 100
+        assert ParallelExecutor(max_workers=2, chunk_size=5)._chunk(800) == 5
+
+    def test_resolve_specs(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        assert resolve_executor("parallel", n_workers=3).max_workers == 3
+        instance = SerialExecutor()
+        assert resolve_executor(instance) is instance
+        with pytest.raises(ConfigError):
+            resolve_executor("gpu")
+
+    def test_default_executor_switch(self):
+        previous = set_default_executor("parallel")
+        try:
+            assert default_executor() == "parallel"
+            assert isinstance(resolve_executor(None), ParallelExecutor)
+        finally:
+            set_default_executor(previous)
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+
+class TestMiningParity:
+    def test_paper_example_parity(self, paper_dseq, paper_params):
+        serial = ESTPM(paper_dseq, paper_params, executor="serial").mine()
+        parallel = ESTPM(
+            paper_dseq,
+            paper_params,
+            executor=ParallelExecutor(max_workers=2, min_tasks=1),
+        ).mine()
+        assert _result_key(serial) == _result_key(parallel)
+
+    @pytest.mark.parametrize("name", ["RE", "SC", "INF", "HFM"])
+    def test_seed_dataset_parity_across_engines(self, name):
+        dataset = load_dataset(name, "tiny")
+        params = dataset.params(
+            max_period_pct=0.4, min_density_pct=0.75, min_season=4
+        )
+        dseq = dataset.dseq()
+        baseline = ESTPM(dseq, params).mine()
+        assert baseline.patterns, f"parity run on {name} mined nothing"
+        parallel = ESTPM(dseq, params, executor="parallel").mine()
+        assert _result_key(baseline) == _result_key(parallel)
+        list_backend = ESTPM(dseq, params, support_backend="list").mine()
+        assert _result_key(baseline) == _result_key(list_backend)
+
+    def test_astpm_forwards_engine_knobs(self, tiny_inf):
+        params = tiny_inf.params(
+            max_period_pct=0.4, min_density_pct=0.75, min_season=4
+        )
+        serial = ASTPM(
+            tiny_inf.dsyb, tiny_inf.ratio, params, dseq=tiny_inf.dseq()
+        ).mine()
+        parallel = ASTPM(
+            tiny_inf.dsyb,
+            tiny_inf.ratio,
+            params,
+            dseq=tiny_inf.dseq(),
+            executor="parallel",
+            support_backend="list",
+        ).mine()
+        assert [(sp.pattern, sp.seasons) for sp in serial.patterns] == [
+            (sp.pattern, sp.seasons) for sp in parallel.patterns
+        ]

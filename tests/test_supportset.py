@@ -1,0 +1,179 @@
+"""Property and unit tests for the SupportSet engine.
+
+The bitset representation must be observationally equivalent to the
+classical sorted-list algebra on every operation the miners use:
+intersection, cardinality, ascending iteration, membership, equality.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.support import intersect_sorted
+from repro.core.supportset import (
+    BACKEND_BITSET,
+    BACKEND_LIST,
+    SUPPORT_BACKENDS,
+    BitsetSupportSet,
+    ListSupportSet,
+    SupportSet,
+    as_positions,
+    as_support_list,
+    coerce_support_set,
+    default_backend,
+    make_support_set,
+    set_default_backend,
+    validate_backend,
+)
+from repro.exceptions import ConfigError
+
+positions_lists = st.lists(
+    st.integers(min_value=1, max_value=400), unique=True, max_size=60
+).map(sorted)
+
+
+@given(positions_lists)
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_equivalence(positions):
+    for backend in SUPPORT_BACKENDS:
+        support = make_support_set(positions, backend)
+        assert support.backend == backend
+        assert list(support) == positions
+        assert support.positions() == tuple(positions)
+        assert len(support) == len(positions)
+        assert bool(support) == bool(positions)
+        assert support == positions
+        assert as_support_list(support) == positions
+
+
+@given(positions_lists, positions_lists)
+@settings(max_examples=100, deadline=None)
+def test_intersection_matches_list_algebra(left, right):
+    expected = intersect_sorted(left, right)
+    bitset = make_support_set(left, BACKEND_BITSET) & make_support_set(
+        right, BACKEND_BITSET
+    )
+    listset = make_support_set(left, BACKEND_LIST) & make_support_set(
+        right, BACKEND_LIST
+    )
+    assert list(bitset) == expected
+    assert list(listset) == expected
+    assert len(bitset) == len(expected)
+    assert len(listset) == len(expected)
+    # The two representations agree with each other too.
+    assert bitset == listset
+
+
+@given(positions_lists, positions_lists)
+@settings(max_examples=50, deadline=None)
+def test_cross_backend_intersection(left, right):
+    expected = intersect_sorted(left, right)
+    bitset_left = make_support_set(left, BACKEND_BITSET)
+    list_right = make_support_set(right, BACKEND_LIST)
+    assert list(bitset_left & list_right) == expected
+    assert list(list_right & bitset_left) == expected
+    # Intersecting with a plain list works as well.
+    assert list(bitset_left & right) == expected
+
+
+@given(positions_lists, st.integers(min_value=0, max_value=401))
+@settings(max_examples=100, deadline=None)
+def test_membership_matches(positions, probe):
+    for backend in SUPPORT_BACKENDS:
+        support = make_support_set(positions, backend)
+        assert (probe in support) == (probe in positions)
+
+
+@given(positions_lists)
+@settings(max_examples=50, deadline=None)
+def test_indexing_and_slicing(positions):
+    for backend in SUPPORT_BACKENDS:
+        support = make_support_set(positions, backend)
+        if positions:
+            assert support[0] == positions[0]
+            assert support[-1] == positions[-1]
+        assert support[1:] == positions[1:]
+        assert support[:3] == positions[:3]
+
+
+@given(positions_lists)
+@settings(max_examples=50, deadline=None)
+def test_pickle_roundtrip(positions):
+    for backend in SUPPORT_BACKENDS:
+        support = make_support_set(positions, backend)
+        clone = pickle.loads(pickle.dumps(support))
+        assert clone == support
+        assert clone.backend == backend
+
+
+class TestUnits:
+    def test_bitset_stores_big_int(self):
+        support = make_support_set([1, 3, 5], BACKEND_BITSET)
+        assert isinstance(support, BitsetSupportSet)
+        assert support.bits == 0b101010
+        assert len(support) == 3
+
+    def test_list_backend_type(self):
+        support = make_support_set([1, 3], BACKEND_LIST)
+        assert isinstance(support, ListSupportSet)
+
+    def test_backends_agree_on_unsorted_duplicated_input(self):
+        raw = [9, 3, 5, 3, 9]
+        as_list = make_support_set(raw, BACKEND_LIST)
+        as_bitset = make_support_set(raw, BACKEND_BITSET)
+        assert list(as_list) == [3, 5, 9]
+        assert as_list == as_bitset
+
+    def test_equality_against_lists_and_tuples(self):
+        support = make_support_set([2, 4], BACKEND_BITSET)
+        assert support == [2, 4]
+        assert support == (2, 4)
+        assert [2, 4] == support  # reflected comparison
+        assert support != [2, 5]
+        assert support != "24"
+
+    def test_hash_consistent_across_backends(self):
+        a = make_support_set([1, 9], BACKEND_BITSET)
+        b = make_support_set([1, 9], BACKEND_LIST)
+        assert hash(a) == hash(b)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            make_support_set([1], "roaring")
+        with pytest.raises(ConfigError):
+            validate_backend("nope")
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            BitsetSupportSet(-1)
+
+    def test_as_positions_passthrough(self):
+        raw = [1, 2, 3]
+        assert as_positions(raw) is raw
+        assert as_positions(make_support_set(raw)) == (1, 2, 3)
+
+    def test_coerce_preserves_matching_backend(self):
+        support = make_support_set([1, 2], BACKEND_BITSET)
+        assert coerce_support_set(support, BACKEND_BITSET) is support
+        converted = coerce_support_set(support, BACKEND_LIST)
+        assert isinstance(converted, ListSupportSet)
+        assert converted == support
+
+    def test_default_backend_switch(self):
+        assert default_backend() == BACKEND_BITSET
+        previous = set_default_backend(BACKEND_LIST)
+        try:
+            assert previous == BACKEND_BITSET
+            assert isinstance(make_support_set([1]), ListSupportSet)
+        finally:
+            set_default_backend(previous)
+        assert default_backend() == BACKEND_BITSET
+
+    def test_abstract_interface_guards(self):
+        base = SupportSet()
+        with pytest.raises(NotImplementedError):
+            base.positions()
+        with pytest.raises(NotImplementedError):
+            len(base)
