@@ -56,6 +56,14 @@ from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult, SeasonalPattern
 from repro.core.seasonality import SeasonView, compute_seasons, max_season
 from repro.core.stpm import ESTPM, mine_seasonal_patterns
+from repro.streaming import (
+    IncrementalSTPM,
+    PatternDelta,
+    StreamingDatabase,
+    StreamingMiningService,
+    StreamingSymbolizer,
+    replay_dataset,
+)
 from repro.events import (
     CONTAINS,
     FOLLOWS,
@@ -78,7 +86,7 @@ from repro.symbolic import (
 )
 from repro.transform import TemporalSequenceDatabase, build_sequence_database
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # granularity
@@ -141,6 +149,13 @@ __all__ = [
     "ParallelExecutor",
     "resolve_executor",
     "set_default_executor",
+    # streaming
+    "IncrementalSTPM",
+    "PatternDelta",
+    "StreamingDatabase",
+    "StreamingMiningService",
+    "StreamingSymbolizer",
+    "replay_dataset",
     # mi
     "entropy",
     "conditional_entropy",

@@ -122,6 +122,20 @@ class HLHk:
         if entry is not None:
             entry.patterns.append(pattern)
 
+    def remove_pattern(self, pattern: TemporalPattern) -> None:
+        """Remove a candidate pattern from PHk/GHk and its group entry.
+
+        Used by the streaming miner when a group's pattern state is
+        rebuilt from scratch (its incremental premise broke); the batch
+        miner never removes patterns.
+        """
+        self.phk.pop(pattern, None)
+        self.ghk.pop(pattern, None)
+        self._patterns = None
+        entry = self.ehk.get(pattern.event_group)
+        if entry is not None and pattern in entry.patterns:
+            entry.patterns.remove(pattern)
+
     def support_of(self, pattern: TemporalPattern) -> SupportLike:
         """Support set of a candidate pattern (``SUP_P``)."""
         return self.phk[pattern]

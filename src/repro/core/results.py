@@ -80,6 +80,16 @@ class MiningResult:
         """The pattern identity set (used by the accuracy metric)."""
         return {sp.pattern for sp in self.patterns}
 
+    def seasonal_map(self) -> dict[TemporalPattern, SeasonView]:
+        """Pattern identity -> full seasonal evidence, order-free.
+
+        This is the semantic content of a mining result: which patterns
+        are frequent and on which support / near sets / seasons.  Used by
+        the streaming parity checks, which compare results produced in
+        different emission orders.
+        """
+        return {sp.pattern: sp.seasons for sp in self.patterns}
+
     def multi_event_keys(self) -> set[TemporalPattern]:
         """Pattern identities of the k >= 2 patterns only."""
         return {sp.pattern for sp in self.patterns if sp.size >= 2}
@@ -91,3 +101,14 @@ class MiningResult:
         if len(ordered) > limit:
             lines.append(f"... and {len(ordered) - limit} more")
         return "\n".join(lines)
+
+
+def results_equivalent(left: MiningResult, right: MiningResult) -> bool:
+    """Do two results contain the same patterns with the same evidence?
+
+    Equivalence is order-insensitive: the batch miner emits patterns in
+    HLH level/group order while the streaming miner emits them in
+    canonical order, but both must agree on the frequent pattern set and
+    on every pattern's support, near support sets, and seasons.
+    """
+    return left.seasonal_map() == right.seasonal_map()

@@ -110,6 +110,45 @@ class GroupOutcome:
     pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]]
 
 
+def collect_pair_patterns(
+    hlh1: HLH1,
+    event_a: str,
+    event_b: str,
+    granules,
+    relation,
+    pattern_support: dict[TemporalPattern, list[int]],
+    pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]],
+) -> None:
+    """Enumerate the related instance pairs of one event pair per granule.
+
+    The per-granule inner loop of step 2.2 (k = 2), shared by the batch
+    miner (which walks the full group support) and the streaming miner
+    (which walks only the tail granules of an advance).  ``granules`` must
+    be ascending; results accumulate into the two dictionaries in place.
+    """
+    for granule in granules:
+        instances_a = hlh1.instances_of(event_a, granule)
+        if event_a == event_b:
+            pairs = combinations(instances_a, 2)
+        else:
+            pairs = product(instances_a, hlh1.instances_of(event_b, granule))
+        for a, b in pairs:
+            located = relation_of_pair(a, b, relation)
+            if located is None:
+                continue
+            rel, earlier, later = located
+            pattern = TemporalPattern(
+                (earlier.event, later.event),
+                (Triple(rel, earlier.event, later.event),),
+            )
+            support_list = pattern_support.setdefault(pattern, [])
+            if not support_list or support_list[-1] != granule:
+                support_list.append(granule)
+            pattern_assignments.setdefault(pattern, {}).setdefault(
+                granule, []
+            ).append((earlier, later))
+
+
 def mine_pair_task(task: tuple[str, str]) -> GroupOutcome:
     """Mine one candidate 2-event group (step 2.2, k = 2).
 
@@ -126,27 +165,10 @@ def mine_pair_task(task: tuple[str, str]) -> GroupOutcome:
         return GroupOutcome((event_a, event_b), None, {}, {})
     pattern_support: dict[TemporalPattern, list[int]] = {}
     pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
-    for granule in support:
-        instances_a = hlh1.instances_of(event_a, granule)
-        if event_a == event_b:
-            pairs = combinations(instances_a, 2)
-        else:
-            pairs = product(instances_a, hlh1.instances_of(event_b, granule))
-        for a, b in pairs:
-            located = relation_of_pair(a, b, params.relation)
-            if located is None:
-                continue
-            relation, earlier, later = located
-            pattern = TemporalPattern(
-                (earlier.event, later.event),
-                (Triple(relation, earlier.event, later.event),),
-            )
-            support_list = pattern_support.setdefault(pattern, [])
-            if not support_list or support_list[-1] != granule:
-                support_list.append(granule)
-            pattern_assignments.setdefault(pattern, {}).setdefault(
-                granule, []
-            ).append((earlier, later))
+    collect_pair_patterns(
+        hlh1, event_a, event_b, support, params.relation,
+        pattern_support, pattern_assignments,
+    )
     return GroupOutcome((event_a, event_b), support, pattern_support, pattern_assignments)
 
 
@@ -181,9 +203,11 @@ def extend_group_patterns(
     previous: HLHk,
     entry_prev,
     event: str,
-    candidate_triples: frozenset[Triple] | None,
+    candidate_triples,
     params: MiningParams,
     check_candidates: bool,
+    parent_patterns=None,
+    granule_filter=None,
 ) -> tuple[
     dict[TemporalPattern, list[int]],
     dict[TemporalPattern, dict[int, list[Assignment]]],
@@ -193,8 +217,17 @@ def extend_group_patterns(
     This is the Iterative Check of Sec. IV-D 4.2.2: each new relation
     triple between an existing event and the new event must already be
     a candidate 2-event pattern, otherwise the extension is discarded.
+
+    ``parent_patterns`` restricts the extension to a subset of the parent
+    group's candidate patterns and ``granule_filter`` to a subset of the
+    granule positions -- the hooks the streaming miner uses to extend only
+    newly incorporated parent patterns / only the tail granules of an
+    advance.  The batch miner leaves both ``None`` (all patterns, all
+    granules).
     """
     relation = params.relation
+    if parent_patterns is None:
+        parent_patterns = entry_prev.patterns
     # Keyed by (events, triples) plain tuples in the hot loop; converted
     # to TemporalPattern objects once per unique pattern at the end.
     accumulator: dict[tuple, dict[int, set[Assignment]]] = {}
@@ -203,11 +236,13 @@ def extend_group_patterns(
     # it appears in many parent assignments.
     pair_cache: dict[int, dict[tuple[EventInstance, EventInstance], tuple | None]] = {}
     event_support = hlh1.support_of(event)
-    for pattern_prev in entry_prev.patterns:
+    for pattern_prev in parent_patterns:
         prev_events = pattern_prev.events
         prev_triples = pattern_prev.triples
         k = len(prev_events) + 1
         common = previous.support_of(pattern_prev) & event_support
+        if granule_filter is not None:
+            common = common & granule_filter
         for granule in common:
             new_instances = hlh1.instances_of(event, granule)
             cache = pair_cache.setdefault(granule, {})

@@ -40,6 +40,20 @@ SUPPORT_BACKENDS = (BACKEND_BITSET, BACKEND_LIST)
 SupportLike = Union["SupportSet", Sequence[int]]
 
 
+def bit_positions(bits: int) -> list[int]:
+    """The set bit indices of a support bitmask, ascending.
+
+    The low-bit extraction primitive shared by :class:`BitsetSupportSet`
+    and the streaming miner's raw-bitmask state.
+    """
+    positions: list[int] = []
+    while bits:
+        low = bits & -bits
+        positions.append(low.bit_length() - 1)
+        bits ^= low
+    return positions
+
+
 class SupportSet:
     """Common interface of both support-set representations.
 
@@ -127,13 +141,7 @@ class BitsetSupportSet(SupportSet):
 
     def positions(self) -> tuple[int, ...]:
         if self._cached is None:
-            out: list[int] = []
-            bits = self.bits
-            while bits:
-                low = bits & -bits
-                out.append(low.bit_length() - 1)
-                bits ^= low
-            self._cached = tuple(out)
+            self._cached = tuple(bit_positions(self.bits))
         return self._cached
 
     def intersect(self, other: SupportLike) -> "BitsetSupportSet":

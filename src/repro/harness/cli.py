@@ -10,6 +10,11 @@ Subcommands
     Run every experiment.
 ``mine --dataset RE --min-season 6 ...``
     One-off mining run printing the found seasonal patterns.
+``stream --dataset RE --batch-granules 8 ...``
+    Replay a dataset as a live stream through the incremental miner,
+    printing the per-batch pattern deltas and update latencies.
+``query results.json --series WindSpeed --min-size 2 ...``
+    Filter an archived results JSON with the PatternQuery API.
 
 Engine selection
 ----------------
@@ -26,11 +31,14 @@ import sys
 
 from repro.core.approximate import ASTPM
 from repro.core.executor import EXECUTOR_BACKENDS, EXECUTOR_PARALLEL, ParallelExecutor
+from repro.core.query import PatternQuery
 from repro.core.stpm import ESTPM
 from repro.core.supportset import SUPPORT_BACKENDS
 from repro.datasets.registry import DATASET_BUILDERS, PROFILES, load_dataset
+from repro.events.relations import RELATIONS
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.runner import engine_defaults, run_all
+from repro.io.results_json import result_from_json
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    all_parser.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip the peak-memory column (runs untraced; tracemalloc "
+        "slows mining, so use this when wall-clock numbers matter)",
+    )
     add_engine_arguments(all_parser)
 
     mine_parser = sub.add_parser("mine", help="one-off mining run")
@@ -81,6 +95,63 @@ def _build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--approximate", action="store_true", help="use A-STPM")
     mine_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
     add_engine_arguments(mine_parser)
+
+    stream_parser = sub.add_parser(
+        "stream", help="replay a dataset as a live stream (incremental mining)"
+    )
+    stream_parser.add_argument(
+        "--dataset", default="RE", choices=sorted(DATASET_BUILDERS)
+    )
+    stream_parser.add_argument("--profile", default="tiny", choices=sorted(PROFILES))
+    stream_parser.add_argument(
+        "--batch-granules", type=int, default=8,
+        help="granules ingested per stream batch",
+    )
+    stream_parser.add_argument(
+        "--initial-granules", type=int, default=None,
+        help="granules in the warm-up window (default: one batch)",
+    )
+    stream_parser.add_argument("--min-season", type=int, default=6)
+    stream_parser.add_argument("--min-density-pct", type=float, default=0.75)
+    stream_parser.add_argument("--max-period-pct", type=float, default=0.4)
+    stream_parser.add_argument(
+        "--reanchor-every", type=int, default=None,
+        help="verify batch parity every N advances (paranoia knob)",
+    )
+    stream_parser.add_argument(
+        "--verify", action="store_true",
+        help="assert batch parity once at the end of the stream",
+    )
+    stream_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a stream checkpoint JSON at the end",
+    )
+    stream_parser.add_argument("--limit", type=int, default=10, help="patterns to print")
+    stream_parser.add_argument(
+        "--support-backend", default=None, choices=sorted(SUPPORT_BACKENDS),
+        help="physical support-set representation",
+    )
+
+    query_parser = sub.add_parser(
+        "query", help="filter an archived results JSON (PatternQuery)"
+    )
+    query_parser.add_argument("results", help="path to a results JSON archive")
+    query_parser.add_argument(
+        "--events", nargs="*", default=[], metavar="EVENT",
+        help="require every listed event (series:symbol)",
+    )
+    query_parser.add_argument(
+        "--series", nargs="*", default=[], metavar="SERIES",
+        help="require at least one event of every listed series",
+    )
+    query_parser.add_argument(
+        "--relations", nargs="*", default=[], choices=sorted(RELATIONS),
+        help="require every listed relation type",
+    )
+    query_parser.add_argument("--min-size", type=int, default=1)
+    query_parser.add_argument("--max-size", type=int, default=None)
+    query_parser.add_argument("--min-seasons", type=int, default=0)
+    query_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
     return parser
 
 
@@ -118,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
             profile=args.profile,
             executor=_executor_spec(args),
             support_backend=args.support_backend,
+            measure_memory=not args.no_memory,
         )
         return 0
     if args.command == "mine":
@@ -144,7 +216,74 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(result.describe(limit=args.limit))
         return 0
+    if args.command == "stream":
+        return _run_stream(args)
+    if args.command == "query":
+        return _run_query(args)
     return 1  # pragma: no cover - argparse enforces the choices
+
+
+def _run_stream(args) -> int:
+    """The ``stream`` subcommand: dataset replay through the live miner."""
+    from repro.streaming import replay_dataset
+
+    dataset = load_dataset(args.dataset, args.profile)
+    params = dataset.params(
+        max_period_pct=args.max_period_pct,
+        min_density_pct=args.min_density_pct,
+        min_season=args.min_season,
+    )
+    print(
+        f"streaming {args.dataset} ({args.profile}): "
+        f"{dataset.n_sequences} granules in batches of {args.batch_granules}"
+    )
+    service = None
+    total_seconds = 0.0
+    for service, delta in replay_dataset(
+        dataset,
+        params,
+        batch_granules=args.batch_granules,
+        initial_granules=args.initial_granules,
+        support_backend=args.support_backend,
+        reanchor_every=args.reanchor_every,
+    ):
+        total_seconds += delta.seconds
+        print(f"  {delta.describe()}")
+    result = service.result()
+    print(
+        f"{len(result)} frequent seasonal patterns after {service.n_granules} "
+        f"granules ({total_seconds:.2f}s total incremental mining, "
+        f"{len(service.border_patterns())} border patterns)"
+    )
+    print(result.describe(limit=args.limit))
+    if args.verify:
+        service.verify_parity()
+        print("parity verified: streaming result == batch E-STPM")
+    if args.checkpoint:
+        service.save_checkpoint(args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _run_query(args) -> int:
+    """The ``query`` subcommand: PatternQuery over an archived result."""
+    result = result_from_json(args.results)
+    query = PatternQuery().min_size(args.min_size).min_seasons(args.min_seasons)
+    if args.max_size is not None:
+        query = query.max_size(args.max_size)
+    if args.events:
+        query = query.with_events(*args.events)
+    if args.series:
+        query = query.with_series(*args.series)
+    if args.relations:
+        query = query.with_relations(*args.relations)
+    matched = query.run(result)
+    print(f"{len(matched)} of {len(result)} archived patterns match")
+    for sp in matched[: args.limit]:
+        print(f"  {sp.describe()}")
+    if len(matched) > args.limit:
+        print(f"  ... and {len(matched) - args.limit} more")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

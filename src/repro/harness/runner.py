@@ -10,6 +10,8 @@ from typing import Iterable, TextIO
 from repro.core.executor import MiningExecutor, set_default_executor
 from repro.core.supportset import set_default_backend
 from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.tables import Table
+from repro.metrics.memory import measure_peak_memory
 
 
 @contextmanager
@@ -46,24 +48,45 @@ def run_all(
     stream: TextIO | None = None,
     executor: MiningExecutor | str | None = None,
     support_backend: str | None = None,
+    measure_memory: bool = True,
 ) -> dict[str, str]:
     """Run the requested experiments and return ``{id: rendered_output}``.
 
     Outputs are streamed to ``stream`` (default stdout) as they complete so
-    long runs show progress.  ``executor`` / ``support_backend`` select the
-    mining engine backends for the whole run (see :func:`engine_defaults`).
+    long runs show progress, followed by a run summary table with each
+    experiment's wall-clock time and (by default) peak traced memory.
+    ``measure_memory=False`` drops the memory column and runs untraced --
+    tracemalloc slows allocation-heavy mining, so use that when the
+    summary's wall-clock numbers themselves are the point of the run.
+    ``executor`` / ``support_backend`` select the mining engine backends
+    for the whole run (see :func:`engine_defaults`).
     """
     stream = stream or sys.stdout
     ids = list(artifact_ids) if artifact_ids is not None else sorted(EXPERIMENTS)
     outputs: dict[str, str] = {}
+    headers = ["Experiment", "Wall clock (s)"]
+    if measure_memory:
+        headers.append("Peak memory (MB)")
+    summary = Table(title=f"Run summary ({profile} profile)", headers=headers)
     with engine_defaults(executor, support_backend):
         for artifact_id in ids:
             started = time.perf_counter()
-            result = run_experiment(artifact_id, profile=profile)
-            rendered = result.render()
+            if measure_memory:
+                result, peak_bytes = measure_peak_memory(
+                    lambda: run_experiment(artifact_id, profile=profile)
+                )
+            else:
+                result = run_experiment(artifact_id, profile=profile)
             elapsed = time.perf_counter() - started
+            rendered = result.render()
             outputs[artifact_id] = rendered
+            row: list = [artifact_id, elapsed]
+            if measure_memory:
+                row.append(peak_bytes / 1024 / 1024)
+            summary.add_row(*row)
             print(f"\n### {artifact_id} (completed in {elapsed:.1f}s)\n", file=stream)
             print(rendered, file=stream)
             stream.flush()
+    print(f"\n{summary.render()}", file=stream)
+    stream.flush()
     return outputs

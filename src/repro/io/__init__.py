@@ -1,11 +1,18 @@
-"""Input/output helpers: CSV ingestion and JSON result serialization."""
+"""Input/output helpers: CSV ingestion, JSON result archives, and
+stream checkpoints."""
 
 from repro.io.csv_data import load_csv_series, save_csv_series
 from repro.io.results_json import result_from_json, result_to_json
+from repro.io.stream_checkpoint import (
+    load_stream_checkpoint,
+    save_stream_checkpoint,
+)
 
 __all__ = [
     "load_csv_series",
     "save_csv_series",
     "result_to_json",
     "result_from_json",
+    "save_stream_checkpoint",
+    "load_stream_checkpoint",
 ]

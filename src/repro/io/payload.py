@@ -1,0 +1,49 @@
+"""Shared loading of versioned JSON payloads (results, checkpoints).
+
+Every archive format of the :mod:`repro.io` layer is a JSON object with
+an explicit ``format_version``.  This helper centralizes the common
+scaffolding -- path-vs-text sniffing, parse-error wrapping, object and
+version checks -- so the formats reject foreign payloads identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+
+def load_versioned_payload(
+    source: str | Path, expected_version: int, what: str
+) -> dict:
+    """Parse ``source`` (a path or JSON text) into a version-checked dict.
+
+    Raises :class:`ReproError` with a ``what``-specific message when the
+    payload is unparseable, not a JSON object, or carries a
+    ``format_version`` other than ``expected_version``.
+    """
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith(("{", "["))
+    ):
+        try:
+            text = Path(source).read_text()
+        except OSError as error:
+            raise ReproError(f"cannot read {what} file: {error}") from None
+    else:
+        text = source
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid {what} JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"{what} JSON must be an object, got {type(payload).__name__}"
+        )
+    version = payload.get("format_version")
+    if version != expected_version:
+        raise ReproError(
+            f"unsupported {what} format version {version!r} "
+            f"(expected {expected_version})"
+        )
+    return payload

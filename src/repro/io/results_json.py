@@ -14,6 +14,7 @@ from repro.core.pattern import TemporalPattern, Triple
 from repro.core.results import MiningResult, MiningStats, SeasonalPattern
 from repro.core.seasonality import SeasonView
 from repro.exceptions import ReproError
+from repro.io.payload import load_versioned_payload
 
 FORMAT_VERSION = 1
 
@@ -66,32 +67,22 @@ def result_to_json(result: MiningResult, path: str | Path | None = None) -> str:
 
 def result_from_json(source: str | Path) -> MiningResult:
     """Rebuild a :class:`MiningResult` from a JSON string or file path."""
-    if isinstance(source, Path) or (
-        isinstance(source, str) and not source.lstrip().startswith("{")
-    ):
-        text = Path(source).read_text()
-    else:
-        text = source
+    payload = load_versioned_payload(source, FORMAT_VERSION, "result")
     try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as error:
-        raise ReproError(f"invalid result JSON: {error}") from None
-    version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ReproError(
-            f"unsupported result format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+        stats_payload = payload.get("stats", {})
+        stats = MiningStats(
+            n_granules=stats_payload.get("n_granules", 0),
+            n_events_scanned=stats_payload.get("n_events_scanned", 0),
+            n_candidate_events=stats_payload.get("n_candidate_events", 0),
+            n_series_pruned=stats_payload.get("n_series_pruned", 0),
+            n_events_pruned=stats_payload.get("n_events_pruned", 0),
+            mi_seconds=stats_payload.get("mi_seconds", 0.0),
+            mining_seconds=stats_payload.get("mining_seconds", 0.0),
+            n_frequent={
+                int(k): v for k, v in stats_payload.get("n_frequent", {}).items()
+            },
         )
-    stats_payload = payload.get("stats", {})
-    stats = MiningStats(
-        n_granules=stats_payload.get("n_granules", 0),
-        n_events_scanned=stats_payload.get("n_events_scanned", 0),
-        n_candidate_events=stats_payload.get("n_candidate_events", 0),
-        n_series_pruned=stats_payload.get("n_series_pruned", 0),
-        n_events_pruned=stats_payload.get("n_events_pruned", 0),
-        mi_seconds=stats_payload.get("mi_seconds", 0.0),
-        mining_seconds=stats_payload.get("mining_seconds", 0.0),
-        n_frequent={int(k): v for k, v in stats_payload.get("n_frequent", {}).items()},
-    )
-    patterns = [_pattern_from_dict(entry) for entry in payload.get("patterns", [])]
+        patterns = [_pattern_from_dict(entry) for entry in payload.get("patterns", [])]
+    except (AttributeError, KeyError, TypeError, ValueError) as error:
+        raise ReproError(f"malformed result payload: {error!r}") from None
     return MiningResult(patterns=patterns, stats=stats)

@@ -4,6 +4,20 @@ The paper's Figs. 9-10 compare miner memory footprints.  We measure the
 peak *traced* Python allocation during a call -- a faithful relative
 measure across miners running identical inputs (absolute numbers differ
 from RSS, which the paper reports, but the comparison shape is preserved).
+
+Measurements nest: the harness runner wraps whole experiments while some
+experiments measure individual mining calls inside.  Nesting is
+implemented with a frame stack over ``tracemalloc.reset_peak()``: each
+segment's peak (between two frame boundaries) is folded into every frame
+open during that segment, so every frame reports the true peak observed
+over its own window.  A nested frame's peak is reported *relative to the
+traced size at its entry*, so an inner measurement returns (nearly) the
+same number it would standalone instead of being floored at the outer
+frame's live allocations.  Tracing starts at the outermost frame and
+stops when it exits, so an outermost measurement keeps its historical
+semantics (entry size is zero).  Note that tracing itself slows the
+measured code; wall-clock numbers taken around a traced call include
+that overhead.
 """
 
 from __future__ import annotations
@@ -15,20 +29,69 @@ from typing import Callable, TypeVar
 T = TypeVar("T")
 
 
+class _Frame:
+    """One open measurement window: its running absolute peak and the
+    traced size when it opened (subtracted from the reported peak)."""
+
+    __slots__ = ("peak", "baseline")
+
+    def __init__(self, baseline: int):
+        self.peak = 0
+        self.baseline = baseline
+
+
+#: Currently open measurement frames, outermost first.
+_FRAMES: list[_Frame] = []
+
+
+def _fold_segment() -> None:
+    """Fold the current tracing segment's peak into every open frame and
+    reset the peak counter so the next segment starts fresh (still
+    counting live allocations)."""
+    _, peak = tracemalloc.get_traced_memory()
+    for frame in _FRAMES:
+        if peak > frame.peak:
+            frame.peak = peak
+    tracemalloc.reset_peak()
+
+
 def measure_peak_memory(fn: Callable[[], T]) -> tuple[T, int]:
     """Run ``fn`` and return ``(result, peak_allocated_bytes)``.
 
-    Nested use is not supported (tracemalloc is process-global); the
-    helper raises if tracing is already active so measurements never
-    silently include someone else's allocations.
+    Calls nest (see module docstring); a nested frame reports its peak
+    net of the allocations already live when it opened.  Raises if
+    tracemalloc was started outside this helper, so measurements never
+    silently include (or stop) someone else's tracing session.
     """
-    if tracemalloc.is_tracing():
-        raise RuntimeError("measure_peak_memory does not support nesting")
+    if tracemalloc.is_tracing() and not _FRAMES:
+        raise RuntimeError(
+            "tracemalloc already active outside measure_peak_memory"
+        )
     gc.collect()
-    tracemalloc.start()
+    if not _FRAMES:
+        tracemalloc.start()
+    else:
+        _fold_segment()
+    _FRAMES.append(_Frame(tracemalloc.get_traced_memory()[0]))
     try:
         result = fn()
-        _, peak = tracemalloc.get_traced_memory()
-    finally:
-        tracemalloc.stop()
+    except BaseException:
+        _close_frame()
+        raise
+    peak = _close_frame()
     return result, peak
+
+
+def _close_frame() -> int:
+    """Pop the innermost frame, folding its final segment everywhere."""
+    _, segment_peak = tracemalloc.get_traced_memory()
+    frame = _FRAMES.pop()
+    absolute = frame.peak if frame.peak > segment_peak else segment_peak
+    for open_frame in _FRAMES:
+        if segment_peak > open_frame.peak:
+            open_frame.peak = segment_peak
+    if _FRAMES:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.stop()
+    return max(0, absolute - frame.baseline)

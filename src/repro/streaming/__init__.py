@@ -1,0 +1,43 @@
+"""Streaming ingestion + incremental seasonal-pattern mining.
+
+The batch pipeline (symbolize -> DSEQ -> E-STPM) re-mines the full
+database whenever data arrives.  This subsystem turns it into an online
+one:
+
+* :mod:`repro.streaming.ingest` -- online symbolization and
+  granule-by-granule DSEQ growth;
+* :mod:`repro.streaming.state` -- the mutable incremental miner state
+  (extendable bitset supports, live HLH mirrors, border tracking);
+* :mod:`repro.streaming.incremental` -- :class:`IncrementalSTPM`, whose
+  ``advance()`` updates the pattern set in time proportional to the new
+  granules (with bounded one-time catch-ups), with a hard batch-parity
+  guarantee;
+* :mod:`repro.streaming.service` -- the long-lived service wiring it all
+  together, with checkpointing through the :mod:`repro.io` layer and
+  dataset replay for the harness/benchmarks.
+"""
+
+from repro.streaming.incremental import (
+    IncrementalSTPM,
+    PatternDelta,
+    canonical_sort_key,
+)
+from repro.streaming.ingest import (
+    StreamingDatabase,
+    StreamingSymbolizer,
+    quantile_thresholds,
+)
+from repro.streaming.service import StreamingMiningService, replay_dataset
+from repro.streaming.state import MinerState
+
+__all__ = [
+    "IncrementalSTPM",
+    "PatternDelta",
+    "canonical_sort_key",
+    "StreamingDatabase",
+    "StreamingSymbolizer",
+    "quantile_thresholds",
+    "StreamingMiningService",
+    "replay_dataset",
+    "MinerState",
+]

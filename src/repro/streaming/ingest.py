@@ -1,0 +1,255 @@
+"""Online ingestion: raw points -> symbols -> DSEQ granules, incrementally.
+
+The batch pipeline symbolizes whole series (Def. 3.5) and builds the full
+DSEQ in one pass (Defs. 3.9-3.11).  Streaming deployments instead receive
+a few points per series at a time; this module provides the two online
+counterparts:
+
+* :class:`StreamingSymbolizer` -- maps raw values to symbols with either
+  *frozen* breakpoints (fitted once on an initial window, so history never
+  re-encodes -- the mode under which the subsystem's batch-parity
+  guarantee holds) or *rolling* breakpoints (re-fitted on all values seen
+  so far, applied to new values only);
+* :class:`StreamingDatabase` -- buffers the symbol stream per series and
+  extends a live :class:`~repro.transform.sequence_db.TemporalSequenceDatabase`
+  granule by granule, without ever rebuilding existing rows.  Whenever
+  every series has ``ratio`` unconsumed symbols, one new temporal
+  sequence is appended -- by construction identical to the row
+  :func:`~repro.transform.sequence_db.build_sequence_database` would have
+  produced at that position.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.events.sequence import TemporalSequence
+from repro.exceptions import SymbolizationError
+from repro.symbolic.alphabet import Alphabet
+from repro.symbolic.database import SymbolicDatabase
+from repro.symbolic.mapping import SymbolMapper, ThresholdMapper
+from repro.symbolic.series import TimeSeries
+from repro.transform.sequence_db import (
+    TemporalSequenceDatabase,
+    granule_instances,
+)
+
+MODE_FROZEN = "frozen"
+MODE_ROLLING = "rolling"
+SYMBOLIZER_MODES = (MODE_FROZEN, MODE_ROLLING)
+
+
+def quantile_thresholds(values, alphabet: Alphabet) -> ThresholdMapper:
+    """Equi-depth breakpoints of ``values``, frozen into a ThresholdMapper.
+
+    Applied to the fitting window itself this reproduces
+    :class:`~repro.symbolic.mapping.QuantileMapper` exactly (same
+    breakpoints, same side="left" binning); unlike QuantileMapper the
+    returned mapper then encodes *future* values without re-fitting.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise SymbolizationError("cannot fit quantile thresholds on no values")
+    n_bins = len(alphabet)
+    if n_bins == 1:
+        return ThresholdMapper((), alphabet)
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    breakpoints = tuple(float(b) for b in np.quantile(data, quantiles))
+    return ThresholdMapper(breakpoints, alphabet)
+
+
+class StreamingSymbolizer:
+    """Online mapping function ``f: X -> Sigma_X`` over a stream.
+
+    Parameters
+    ----------
+    alphabets:
+        Target alphabet per series name.
+    mode:
+        ``"frozen"``: breakpoints are fixed (from ``mappers`` or the
+        first :meth:`push`, which acts as the fitting window).
+        ``"rolling"``: breakpoints re-fit on the full raw history at
+        every push and apply to the newly pushed values only.
+    mappers:
+        Pre-fitted mappers per series (frozen mode only); series without
+        a mapper are fitted on their first push.
+    """
+
+    def __init__(
+        self,
+        alphabets: dict[str, Alphabet],
+        mode: str = MODE_FROZEN,
+        mappers: dict[str, SymbolMapper] | None = None,
+    ):
+        if mode not in SYMBOLIZER_MODES:
+            raise SymbolizationError(
+                f"unknown symbolizer mode {mode!r}; choose from {SYMBOLIZER_MODES}"
+            )
+        if not alphabets:
+            raise SymbolizationError("a streaming symbolizer needs >= 1 series")
+        self.mode = mode
+        self.alphabets = dict(alphabets)
+        self.mappers: dict[str, SymbolMapper] = dict(mappers or {})
+        for name in self.mappers:
+            if name not in self.alphabets:
+                raise SymbolizationError(f"mapper for unknown series {name!r}")
+        #: Raw history per series (rolling refits; checkpoints restore it).
+        self.history: dict[str, list[float]] = {name: [] for name in alphabets}
+
+    @classmethod
+    def fit(
+        cls,
+        window: dict[str, Sequence[float]],
+        alphabets: dict[str, Alphabet],
+        mode: str = MODE_FROZEN,
+    ) -> "StreamingSymbolizer":
+        """Fit breakpoints on an initial window (without consuming it).
+
+        Callers typically follow with ``push(window)`` so the window's own
+        symbols enter the stream.
+        """
+        symbolizer = cls(alphabets, mode=mode)
+        if mode == MODE_FROZEN:
+            for name, values in window.items():
+                symbolizer.mappers[name] = quantile_thresholds(
+                    values, symbolizer._alphabet_of(name)
+                )
+        return symbolizer
+
+    def _alphabet_of(self, name: str) -> Alphabet:
+        try:
+            return self.alphabets[name]
+        except KeyError:
+            raise SymbolizationError(
+                f"unknown series {name!r}; registered: {sorted(self.alphabets)}"
+            ) from None
+
+    def push(self, values: dict[str, Sequence[float]]) -> dict[str, tuple[str, ...]]:
+        """Symbolize newly arrived raw values, per series.
+
+        Returns the new symbols per series, ready for
+        :meth:`StreamingDatabase.append_symbols`.
+        """
+        out: dict[str, tuple[str, ...]] = {}
+        for name, block in values.items():
+            alphabet = self._alphabet_of(name)
+            block_list = [float(v) for v in np.asarray(block, dtype=float)]
+            if not block_list:
+                out[name] = ()
+                continue
+            self.history[name].extend(block_list)
+            if self.mode == MODE_ROLLING:
+                mapper = quantile_thresholds(self.history[name], alphabet)
+            else:
+                mapper = self.mappers.get(name)
+                if mapper is None:
+                    # First push of this series is its fitting window.
+                    mapper = self.mappers[name] = quantile_thresholds(
+                        block_list, alphabet
+                    )
+            encoded = mapper.encode(TimeSeries(name, tuple(block_list)))
+            out[name] = encoded.symbols
+        return out
+
+
+class StreamingDatabase:
+    """A DSEQ that grows granule by granule from a symbol stream.
+
+    Symbols are buffered per series; whenever every series has ``ratio``
+    unconsumed symbols, one :class:`~repro.events.sequence.TemporalSequence`
+    is materialized and appended to the live database.  Series may be
+    pushed raggedly (different lengths per call); granules form at the
+    pace of the slowest series, exactly preserving the lockstep alignment
+    Def. 3.6 requires of a symbolic database.
+    """
+
+    def __init__(self, ratio: int, alphabets: dict[str, Alphabet] | None = None):
+        if ratio < 1:
+            raise SymbolizationError(f"sequence mapping ratio must be >= 1, got {ratio}")
+        self.ratio = ratio
+        self.alphabets: dict[str, Alphabet] = dict(alphabets or {})
+        #: Full symbol history per series, in arrival order.
+        self.symbols: dict[str, list[str]] = {
+            name: [] for name in self.alphabets
+        }
+        self._consumed = 0  # instants already materialized into granules
+        self.dseq = TemporalSequenceDatabase(
+            rows=[], ratio=ratio, source_names=list(self.alphabets)
+        )
+
+    @classmethod
+    def from_symbolic(
+        cls, dsyb: SymbolicDatabase, ratio: int
+    ) -> "StreamingDatabase":
+        """Seed a streaming database from an existing DSYB.
+
+        All of the DSYB's symbols are appended immediately, so the
+        resulting DSEQ rows equal ``build_sequence_database(dsyb, ratio)``
+        (a trailing partial block stays buffered instead of dropped).
+        """
+        database = cls(
+            ratio,
+            {series.name: series.alphabet for series in dsyb},
+        )
+        database.append_symbols({series.name: series.symbols for series in dsyb})
+        return database
+
+    @property
+    def names(self) -> list[str]:
+        """Series names, in registration order."""
+        return list(self.symbols)
+
+    def pending_instants(self) -> int:
+        """Instants of the slowest series not yet materialized."""
+        if not self.symbols:
+            return 0
+        return min(len(s) for s in self.symbols.values()) - self._consumed
+
+    def append_symbols(
+        self, symbols: dict[str, Sequence[str] | str]
+    ) -> list[TemporalSequence]:
+        """Buffer new symbols and materialize every complete granule.
+
+        The first call fixes the series set; later calls may cover any
+        subset of it.  Returns the newly appended temporal sequences (the
+        batch a miner advance consumes).
+        """
+        if not self.symbols:
+            if not symbols:
+                raise SymbolizationError("cannot seed a streaming DSEQ with no series")
+            for name in symbols:
+                self.symbols[name] = []
+            self.dseq.source_names = list(self.symbols)
+        for name, block in symbols.items():
+            buffer = self.symbols.get(name)
+            if buffer is None:
+                raise SymbolizationError(
+                    f"unknown series {name!r}; the stream is fixed to {self.names}"
+                )
+            alphabet = self.alphabets.get(name)
+            for symbol in block:
+                if alphabet is not None and symbol not in alphabet:
+                    raise SymbolizationError(
+                        f"symbol {symbol!r} outside alphabet of series {name!r}"
+                    )
+                buffer.append(symbol)
+        return self._materialize()
+
+    def _materialize(self) -> list[TemporalSequence]:
+        """Turn every complete ``ratio``-block into one appended granule."""
+        new_rows: list[TemporalSequence] = []
+        while self.pending_instants() >= self.ratio:
+            position = self._consumed // self.ratio + 1
+            sequence = TemporalSequence(position=position)
+            for name, buffer in self.symbols.items():
+                block = tuple(buffer[self._consumed : self._consumed + self.ratio])
+                sequence.instances.extend(
+                    granule_instances(name, block, self._consumed)
+                )
+            row = sequence.finalize()
+            self.dseq.append_row(row)
+            new_rows.append(row)
+            self._consumed += self.ratio
+        return new_rows

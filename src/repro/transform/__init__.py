@@ -5,6 +5,14 @@ temporal sequence database ``DSEQ`` at a coarser granularity H via the
 sequence mapping ``g: XS ->m H`` (paper Defs. 3.9-3.11, Table IV).
 """
 
-from repro.transform.sequence_db import TemporalSequenceDatabase, build_sequence_database
+from repro.transform.sequence_db import (
+    TemporalSequenceDatabase,
+    build_sequence_database,
+    granule_instances,
+)
 
-__all__ = ["TemporalSequenceDatabase", "build_sequence_database"]
+__all__ = [
+    "TemporalSequenceDatabase",
+    "build_sequence_database",
+    "granule_instances",
+]

@@ -103,6 +103,64 @@ class TemporalSequenceDatabase:
         """Paper-style rendering of one Table IV row."""
         return self.sequence_at(position).describe()
 
+    def append_row(self, sequence: TemporalSequence) -> None:
+        """Append one granule row (streaming ingestion, Def. 3.10 online).
+
+        ``sequence`` must be finalized and carry the next 1-based position.
+        The per-representation support caches are dropped: batch callers
+        re-scan lazily, while the streaming miner maintains its own
+        incrementally extended supports.
+        """
+        if sequence.position != len(self.rows) + 1:
+            raise TransformError(
+                f"appended granule has position {sequence.position}; "
+                f"expected {len(self.rows) + 1}"
+            )
+        self.rows.append(sequence)
+        self._support_cache.clear()
+
+    def prefix(self, n_granules: int) -> "TemporalSequenceDatabase":
+        """A view of the first ``n_granules`` rows (rows are shared).
+
+        The streaming parity checks mine every stream prefix with the
+        batch miner; this avoids rebuilding the prefix from DSYB.
+        """
+        if not 0 <= n_granules <= len(self.rows):
+            raise TransformError(
+                f"prefix length {n_granules} outside [0, {len(self.rows)}]"
+            )
+        return TemporalSequenceDatabase(
+            rows=self.rows[:n_granules],
+            ratio=self.ratio,
+            source_names=list(self.source_names),
+        )
+
+
+def granule_instances(
+    name: str, block: tuple[str, ...], offset: int
+) -> list[EventInstance]:
+    """Event instances of one series' symbol block (Def. 3.10 run grouping).
+
+    ``block`` holds the consecutive symbols of one coarse granule;
+    ``offset`` is the 0-based global position of its first symbol, so the
+    returned intervals use global 1-based fine-granule positions.  Shared
+    by the batch sequence mapping and the streaming ingestion layer.
+    """
+    instances: list[EventInstance] = []
+    run_symbol = block[0]
+    run_start = offset + 1
+    for index in range(1, len(block)):
+        if block[index] != run_symbol:
+            instances.append(
+                EventInstance(f"{name}:{run_symbol}", run_start, offset + index)
+            )
+            run_symbol = block[index]
+            run_start = offset + index + 1
+    instances.append(
+        EventInstance(f"{name}:{run_symbol}", run_start, offset + len(block))
+    )
+    return instances
+
 
 def _granule_instances(
     name: str, symbols: tuple[str, ...], granule_index: int, ratio: int
@@ -113,19 +171,7 @@ def _granule_instances(
     fine-granule positions.
     """
     start = granule_index * ratio
-    block = symbols[start : start + ratio]
-    instances: list[EventInstance] = []
-    run_symbol = block[0]
-    run_start = start + 1
-    for offset in range(1, len(block)):
-        if block[offset] != run_symbol:
-            instances.append(
-                EventInstance(f"{name}:{run_symbol}", run_start, start + offset)
-            )
-            run_symbol = block[offset]
-            run_start = start + offset + 1
-    instances.append(EventInstance(f"{name}:{run_symbol}", run_start, start + len(block)))
-    return instances
+    return granule_instances(name, symbols[start : start + ratio], start)
 
 
 def build_sequence_database(

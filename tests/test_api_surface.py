@@ -21,6 +21,29 @@ class TestPublicExports:
         major, minor, patch = repro.__version__.split(".")
         assert major.isdigit() and minor.isdigit() and patch.isdigit()
 
+    def test_streaming_exports(self):
+        # The streaming subsystem is part of the top-level API ...
+        for name in (
+            "IncrementalSTPM",
+            "PatternDelta",
+            "StreamingDatabase",
+            "StreamingMiningService",
+            "StreamingSymbolizer",
+            "replay_dataset",
+        ):
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is getattr(repro.streaming, name)
+        # ... and repro.streaming re-exports everything it advertises.
+        for name in repro.streaming.__all__:
+            assert hasattr(repro.streaming, name), name
+
+    def test_io_exports_stream_checkpoints(self):
+        from repro import io
+
+        for name in ("save_stream_checkpoint", "load_stream_checkpoint"):
+            assert name in io.__all__
+            assert callable(getattr(io, name))
+
 
 class TestModuleDocumentation:
     def test_every_module_has_a_docstring(self):

@@ -15,7 +15,7 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
-FAST_EXAMPLES = ["quickstart.py", "custom_data.py"]
+FAST_EXAMPLES = ["quickstart.py", "custom_data.py", "streaming_updates.py"]
 
 
 def test_every_expected_example_exists():
@@ -27,6 +27,7 @@ def test_every_expected_example_exists():
         "influenza_surveillance.py",
         "traffic_incidents.py",
         "advanced_workflow.py",
+        "streaming_updates.py",
     } <= names
 
 

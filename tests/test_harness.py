@@ -84,6 +84,22 @@ class TestRegistry:
         assert "T5" in outputs
         assert "Table V" in stream.getvalue()
 
+    def test_runner_summary_has_time_and_memory_columns(self):
+        stream = io.StringIO()
+        run_all(["T5"], profile="tiny", stream=stream)
+        text = stream.getvalue()
+        assert "Run summary" in text
+        assert "Wall clock (s)" in text
+        assert "Peak memory (MB)" in text
+
+    def test_runner_summary_memory_column_optional(self):
+        stream = io.StringIO()
+        run_all(["T5"], profile="tiny", stream=stream, measure_memory=False)
+        text = stream.getvalue()
+        assert "Run summary" in text
+        assert "Wall clock (s)" in text
+        assert "Peak memory (MB)" not in text
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -118,3 +134,40 @@ class TestCli:
             == 0
         )
         assert "frequent seasonal patterns" in capsys.readouterr().out
+
+    def test_stream(self, capsys, tmp_path):
+        checkpoint = tmp_path / "stream.json"
+        assert (
+            cli_main(
+                [
+                    "stream", "--dataset", "INF", "--profile", "tiny",
+                    "--batch-granules", "30", "--min-season", "2",
+                    "--verify", "--checkpoint", str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "promoted" in out
+        assert "parity verified" in out
+        assert checkpoint.exists()
+
+    def test_query(self, capsys, tmp_path):
+        from repro import ESTPM
+        from repro.datasets import load_dataset
+        from repro.io import result_to_json
+
+        dataset = load_dataset("INF", "tiny")
+        result = ESTPM(
+            dataset.dseq(), dataset.params(min_season=2, min_density_pct=1.0)
+        ).mine()
+        path = tmp_path / "results.json"
+        result_to_json(result, path)
+        assert (
+            cli_main(
+                ["query", str(path), "--min-size", "2", "--relations", "Follows"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "archived patterns match" in out

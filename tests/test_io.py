@@ -95,6 +95,38 @@ class TestResultJson:
 
     def test_version_checked(self):
         payload = json.dumps({"format_version": 999, "patterns": []})
+        with pytest.raises(ReproError) as excinfo:
+            result_from_json(payload)
+        assert "999" in str(excinfo.value)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ReproError) as excinfo:
+            result_from_json(json.dumps({"patterns": []}))
+        assert "version" in str(excinfo.value)
+
+    def test_non_object_payload_rejected(self):
+        # A JSON array used to die on payload.get with an AttributeError.
+        with pytest.raises(ReproError) as excinfo:
+            result_from_json(json.dumps([1, 2, 3]))
+        assert "object" in str(excinfo.value)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError) as excinfo:
+            result_from_json(tmp_path / "nope.json")
+        assert "cannot read" in str(excinfo.value)
+
+    def test_malformed_pattern_rejected(self):
+        payload = json.dumps(
+            {"format_version": 1, "patterns": [{"events": ["A:1"]}]}
+        )
+        with pytest.raises(ReproError) as excinfo:
+            result_from_json(payload)
+        assert "malformed" in str(excinfo.value)
+
+    def test_malformed_stats_rejected(self):
+        payload = json.dumps(
+            {"format_version": 1, "patterns": [], "stats": {"n_frequent": {"x": 1}}}
+        )
         with pytest.raises(ReproError):
             result_from_json(payload)
 

@@ -32,12 +32,38 @@ class TestPeakMemory:
         assert len(result) == 200_000
         assert peak > 200_000 * 4  # a list of ints is at least this big
 
-    def test_nesting_rejected(self):
-        def nested():
-            return measure_peak_memory(lambda: 1)
+    def test_nested_measurement(self):
+        import tracemalloc
 
-        with pytest.raises(RuntimeError):
-            measure_peak_memory(nested)
+        def nested():
+            _, inner_peak = measure_peak_memory(lambda: [0] * 200_000)
+            return inner_peak
+
+        inner_peak, outer_peak = measure_peak_memory(nested)
+        assert inner_peak > 200_000 * 4
+        assert outer_peak >= inner_peak
+        assert not tracemalloc.is_tracing()
+
+    def test_outer_sees_peaks_outside_inner_frame(self):
+        def work():
+            big = [0] * 400_000  # outer allocation, freed before inner runs
+            del big
+            _, inner_peak = measure_peak_memory(lambda: [0] * 50_000)
+            return inner_peak
+
+        inner_peak, outer_peak = measure_peak_memory(work)
+        assert outer_peak > 400_000 * 4
+        assert inner_peak < outer_peak
+
+    def test_foreign_tracing_rejected(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            with pytest.raises(RuntimeError):
+                measure_peak_memory(lambda: 1)
+        finally:
+            tracemalloc.stop()
 
     def test_stops_tracing_on_error(self):
         import tracemalloc
@@ -47,6 +73,21 @@ class TestPeakMemory:
 
         with pytest.raises(ValueError):
             measure_peak_memory(boom)
+        assert not tracemalloc.is_tracing()
+
+    def test_stops_tracing_on_nested_error(self):
+        import tracemalloc
+
+        def boom():
+            raise ValueError("x")
+
+        def outer():
+            with pytest.raises(ValueError):
+                measure_peak_memory(boom)
+            return 1
+
+        result, _ = measure_peak_memory(outer)
+        assert result == 1
         assert not tracemalloc.is_tracing()
 
 
