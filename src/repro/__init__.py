@@ -36,6 +36,14 @@ from repro.core.executor import (
     set_default_executor,
 )
 from repro.core.multigranularity import GranularityLevelResult, MultiGranularityMiner
+from repro.multigrain import (
+    GranularityLevel,
+    HierarchicalMiner,
+    LevelScreening,
+    MultiGranularityResult,
+    resolve_level_params,
+    screen_level,
+)
 from repro.core.supportset import (
     BitsetSupportSet,
     ListSupportSet,
@@ -58,6 +66,7 @@ from repro.core.seasonality import SeasonView, compute_seasons, max_season
 from repro.core.stpm import ESTPM, mine_seasonal_patterns
 from repro.streaming import (
     IncrementalSTPM,
+    MultiGrainStreamingService,
     PatternDelta,
     StreamingDatabase,
     StreamingMiningService,
@@ -86,7 +95,7 @@ from repro.symbolic import (
 )
 from repro.transform import TemporalSequenceDatabase, build_sequence_database
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # granularity
@@ -125,6 +134,13 @@ __all__ = [
     "CorrelationReport",
     "MultiGranularityMiner",
     "GranularityLevelResult",
+    # multigrain engine
+    "HierarchicalMiner",
+    "GranularityLevel",
+    "MultiGranularityResult",
+    "LevelScreening",
+    "screen_level",
+    "resolve_level_params",
     "PatternQuery",
     "superpatterns_of",
     "subpatterns_of",
@@ -154,6 +170,7 @@ __all__ = [
     "PatternDelta",
     "StreamingDatabase",
     "StreamingMiningService",
+    "MultiGrainStreamingService",
     "StreamingSymbolizer",
     "replay_dataset",
     # mi

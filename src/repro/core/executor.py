@@ -80,10 +80,14 @@ class SerialExecutor(MiningExecutor):
 
         Laziness keeps the classical memory profile: each group outcome is
         registered (and freed) before the next group is mined, instead of
-        holding a whole level's outcomes alive at once.  The context
-        global is cleared when the iterator is exhausted or closed, so the
-        last level's HLH tables do not outlive the mining run.
+        holding a whole level's outcomes alive at once.  The previous
+        context is restored when the iterator is exhausted or closed --
+        restored rather than cleared, because tasks may themselves run a
+        nested serial miner (the hierarchical miner's level tasks do), and
+        in a parallel worker the pool-installed outer context must survive
+        the inner run.
         """
+        previous = get_task_context()
         _set_task_context(context)
 
         def _run() -> Iterator[Any]:
@@ -91,7 +95,7 @@ class SerialExecutor(MiningExecutor):
                 for task in tasks:
                     yield fn(task)
             finally:
-                _set_task_context(None)
+                _set_task_context(previous)
 
         return _run()
 

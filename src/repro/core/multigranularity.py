@@ -1,29 +1,36 @@
-"""Multi-granularity mining (the paper's contribution (1)).
+"""Deprecated multi-granularity loop -- now a shim over :mod:`repro.multigrain`.
 
-FreqSTPfTS "can mine STP at different data granularities": the same
-symbolic database can be sequence-mapped with different ratios (e.g. a
-5-minute DSYB into 15-minute, 1-hour, or 1-day sequences) and mined at
-each level of the granularity hierarchy.  This module packages that loop:
-percentage-valued thresholds are re-resolved against each level's sequence
-count so one configuration drives every granularity.
+The original :class:`MultiGranularityMiner` rebuilt the sequence database
+and re-mined every hierarchy level from scratch.  The hierarchical engine
+(:class:`repro.multigrain.HierarchicalMiner`) replaces it: the finest
+level is built once, coarser levels derive their supports and rows by
+folding, and levels are dispatched through the pluggable executors.  This
+module keeps the old import path and result shape working (one
+:class:`DeprecationWarning` per ``mine_all``) so pre-1.3 callers migrate
+at their own pace.
+
+Behavior note: the old ``params_for`` floored *both* ends of the season
+distance interval, silently rejecting coarse season distances that were
+valid at the fine level; the engine now ceils the upper bound.  Pass
+``legacy_dist_floor=True`` to reproduce the old thresholds exactly (the
+parity knob for archived results).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.config import MiningParams
 from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult
-from repro.core.stpm import ESTPM
-from repro.exceptions import ConfigError
+from repro.multigrain.engine import HierarchicalMiner
 from repro.symbolic.database import SymbolicDatabase
-from repro.transform.sequence_db import build_sequence_database
 
 
 @dataclass(frozen=True)
 class GranularityLevelResult:
-    """The outcome of mining one hierarchy level."""
+    """The outcome of mining one hierarchy level (legacy shape)."""
 
     ratio: int
     n_sequences: int
@@ -33,22 +40,14 @@ class GranularityLevelResult:
 
 @dataclass
 class MultiGranularityMiner:
-    """Mine one DSYB at several granularities of its hierarchy.
+    """Deprecated facade over :class:`repro.multigrain.HierarchicalMiner`.
 
-    Parameters
-    ----------
-    dsyb:
-        The symbolic database at the finest granularity G.
-    ratios:
-        Sequence-mapping ratios, one per coarser granularity H (each must
-        leave at least ``min_sequences`` complete sequences).
-    max_period_pct / min_density_pct:
-        Table VI style percentage thresholds, re-resolved per level.
-    dist_interval:
-        Season distance interval *in fine granules*; converted to each
-        level's granule unit by dividing by the ratio.
-    min_season:
-        Minimum seasonal occurrence threshold (granularity independent).
+    Accepts the historical constructor arguments and returns the
+    historical ``list[GranularityLevelResult]``, but mines through the
+    hierarchical fold-derived engine.  New code should use
+    :class:`~repro.multigrain.HierarchicalMiner` directly -- it exposes
+    the cross-level alignment, screening statistics, A-STPM levels, and
+    executor dispatch this facade hides.
     """
 
     dsyb: SymbolicDatabase
@@ -60,45 +59,46 @@ class MultiGranularityMiner:
     max_pattern_length: int = 3
     pruning: PruningConfig = field(default_factory=PruningConfig.all)
     min_sequences: int = 4
+    legacy_dist_floor: bool = False
 
     def __post_init__(self) -> None:
-        if not self.ratios:
-            raise ConfigError("multi-granularity mining needs at least one ratio")
-        if sorted(set(self.ratios)) != sorted(self.ratios):
-            raise ConfigError(f"duplicate ratios in {self.ratios}")
+        # Validate eagerly (the historical contract raised at construction).
+        self._engine()
+
+    def _engine(self) -> HierarchicalMiner:
+        return HierarchicalMiner(
+            dsyb=self.dsyb,
+            ratios=self.ratios,
+            max_period_pct=self.max_period_pct,
+            min_density_pct=self.min_density_pct,
+            dist_interval=self.dist_interval,
+            min_season=self.min_season,
+            max_pattern_length=self.max_pattern_length,
+            pruning=self.pruning,
+            min_sequences=self.min_sequences,
+            legacy_dist_floor=self.legacy_dist_floor,
+        )
 
     def params_for(self, ratio: int, n_sequences: int) -> MiningParams:
         """Resolve the shared configuration against one level."""
-        dist_min = self.dist_interval[0] // ratio
-        dist_max = max(dist_min, self.dist_interval[1] // ratio)
-        return MiningParams.from_percentages(
-            n_granules=n_sequences,
-            max_period_pct=self.max_period_pct,
-            min_density_pct=self.min_density_pct,
-            dist_interval=(dist_min, dist_max),
-            min_season=self.min_season,
-            max_pattern_length=self.max_pattern_length,
-        )
+        return self._engine().params_for(ratio, n_sequences)
 
     def mine_all(self) -> list[GranularityLevelResult]:
-        """Mine every level, finest ratio first."""
-        levels: list[GranularityLevelResult] = []
-        for ratio in sorted(self.ratios):
-            n_sequences = self.dsyb.n_instants // ratio
-            if n_sequences < self.min_sequences:
-                raise ConfigError(
-                    f"ratio {ratio} leaves only {n_sequences} sequences "
-                    f"(< {self.min_sequences}); drop it or supply more data"
-                )
-            dseq = build_sequence_database(self.dsyb, ratio)
-            params = self.params_for(ratio, n_sequences)
-            result = ESTPM(dseq, params, self.pruning).mine()
-            levels.append(
-                GranularityLevelResult(
-                    ratio=ratio,
-                    n_sequences=n_sequences,
-                    params=params,
-                    result=result,
-                )
+        """Mine every level, finest ratio first (legacy result shape)."""
+        warnings.warn(
+            "MultiGranularityMiner is deprecated; use "
+            "repro.multigrain.HierarchicalMiner (same thresholds, "
+            "fold-derived levels, cross-level alignment)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        hierarchical = self._engine().mine()
+        return [
+            GranularityLevelResult(
+                ratio=level.ratio,
+                n_sequences=level.n_sequences,
+                params=level.params,
+                result=level.result,
             )
-        return levels
+            for level in hierarchical.levels
+        ]

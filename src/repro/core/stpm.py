@@ -387,6 +387,10 @@ class ESTPM:
     ) -> HLH1:
         hlh1 = HLH1()
         params = self.params
+        # Per-granule instance tables exist solely for step 2.2's pair /
+        # extension enumeration; a single-event run (maxSeason scan, the
+        # multigrain event-seasonality workload) never reads them.
+        need_instances = params.max_pattern_length >= 2
         for event, support in sorted(self.dseq.event_support(backend).items()):
             if self.series_filter is not None and series_of(event) not in self.series_filter:
                 stats.n_events_pruned += 1
@@ -397,10 +401,12 @@ class ESTPM:
             stats.n_events_scanned += 1
             if self.pruning.apriori and not is_candidate(len(support), params):
                 continue
-            instances_by_granule = {
-                position: self.dseq.instances_at(position, event)
-                for position in support
-            }
+            instances_by_granule = {}
+            if need_instances:
+                instances_by_granule = {
+                    position: self.dseq.instances_at(position, event)
+                    for position in support
+                }
             hlh1.add_event(event, support, instances_by_granule)
             view = compute_seasons(support, params)
             if view.n_seasons >= params.min_season:

@@ -54,6 +54,61 @@ def bit_positions(bits: int) -> list[int]:
     return positions
 
 
+def coarsen_bits(bits: int, factor: int, n_granules: int | None = None) -> int:
+    """Fold a 1-based support bitmask onto a ``factor``-times coarser scale.
+
+    Coarse bit ``q`` is set iff any fine bit in the block
+    ``(q-1)*factor+1 .. q*factor`` is set -- the support-set image of the
+    sequence mapping ``g: XS ->factor H``.  ``n_granules`` caps the coarse
+    positions (granules beyond it come from a trailing partial block that
+    the sequence mapping drops).
+
+    The fold walks the big int block by block with one C-level mask/shift
+    pair per *coarse* granule, so its cost is independent of the fine
+    support's density.
+    """
+    if factor < 1:
+        raise ConfigError(f"coarsening factor must be >= 1, got {factor}")
+    if factor == 1:
+        folded = bits
+        if n_granules is not None:
+            folded &= (1 << (n_granules + 1)) - 1
+        return folded
+    block_mask = (1 << factor) - 1
+    remaining = bits >> 1  # drop the never-set bit 0: fine position p -> bit p-1
+    folded = 0
+    coarse = 1
+    while remaining:
+        if n_granules is not None and coarse > n_granules:
+            break
+        if remaining & block_mask:
+            folded |= 1 << coarse
+        remaining >>= factor
+        coarse += 1
+    return folded
+
+
+def coarsen_positions(
+    positions: Iterable[int], factor: int, n_granules: int | None = None
+) -> list[int]:
+    """Stride-merge ascending 1-based positions onto a coarser scale.
+
+    The sorted-list counterpart of :func:`coarsen_bits`: fine position
+    ``p`` maps to coarse position ``(p - 1) // factor + 1``; duplicates
+    collapse (the input is ascending, so one comparison per position).
+    """
+    if factor < 1:
+        raise ConfigError(f"coarsening factor must be >= 1, got {factor}")
+    folded: list[int] = []
+    for position in positions:
+        coarse = (position - 1) // factor + 1
+        if n_granules is not None and coarse > n_granules:
+            break
+        if not folded or folded[-1] != coarse:
+            folded.append(coarse)
+    return folded
+
+
 class SupportSet:
     """Common interface of both support-set representations.
 
@@ -74,6 +129,19 @@ class SupportSet:
 
     def intersect(self, other: SupportLike) -> "SupportSet":
         """The intersection, in this set's representation."""
+        raise NotImplementedError
+
+    def coarsen(self, factor: int, n_granules: int | None = None) -> "SupportSet":
+        """The support set's image under a ``factor``-coarser sequence mapping.
+
+        A coarse granule is in the folded set iff it covers at least one
+        fine granule of this set.  For *events* the fold is exact: an
+        event occurs in a coarse granule iff it occurs in one of the
+        covered fine granules, so folding a fine event support yields the
+        support the coarse-level DSEQ scan would recompute.  ``n_granules``
+        drops coarse positions beyond the mapped database's length (the
+        trailing partial block of Def. 3.3).
+        """
         raise NotImplementedError
 
     def __and__(self, other: SupportLike) -> "SupportSet":
@@ -149,6 +217,9 @@ class BitsetSupportSet(SupportSet):
             return BitsetSupportSet(self.bits & other.bits)
         return BitsetSupportSet(self.bits & _as_bits(other))
 
+    def coarsen(self, factor: int, n_granules: int | None = None) -> "BitsetSupportSet":
+        return BitsetSupportSet(coarsen_bits(self.bits, factor, n_granules))
+
     def __len__(self) -> int:
         return self.bits.bit_count()
 
@@ -192,6 +263,9 @@ class ListSupportSet(SupportSet):
         return ListSupportSet(
             intersect_sorted(list(self._positions), list(as_positions(other)))
         )
+
+    def coarsen(self, factor: int, n_granules: int | None = None) -> "ListSupportSet":
+        return ListSupportSet(coarsen_positions(self._positions, factor, n_granules))
 
     def __len__(self) -> int:
         return len(self._positions)

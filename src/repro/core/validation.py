@@ -17,7 +17,7 @@ for users auditing archived results.
 
 from __future__ import annotations
 
-from itertools import combinations, product
+from itertools import product
 
 from repro.core.config import MiningParams
 from repro.core.pattern import TemporalPattern, pattern_from_instances

@@ -10,11 +10,15 @@ Subcommands
     Run every experiment.
 ``mine --dataset RE --min-season 6 ...``
     One-off mining run printing the found seasonal patterns.
+``multigrain --dataset RE --multiples 1 2 4 ...``
+    Mine a dataset at several granularities through the hierarchical
+    fold-derived engine and report which patterns persist across levels.
 ``stream --dataset RE --batch-granules 8 ...``
     Replay a dataset as a live stream through the incremental miner,
     printing the per-batch pattern deltas and update latencies.
 ``query results.json --series WindSpeed --min-size 2 ...``
-    Filter an archived results JSON with the PatternQuery API.
+    Filter an archived results JSON with the PatternQuery API
+    (``--level`` selects one level of a multigrain archive).
 
 Engine selection
 ----------------
@@ -38,7 +42,15 @@ from repro.datasets.registry import DATASET_BUILDERS, PROFILES, load_dataset
 from repro.events.relations import RELATIONS
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.runner import engine_defaults, run_all
-from repro.io.results_json import result_from_json
+from repro.io.results_json import load_results_archive, multigrain_to_json
+from repro.multigrain import (
+    MINER_APPROXIMATE,
+    MINER_EXACT,
+    STRATEGIES,
+    STRATEGY_FOLD,
+    HierarchicalMiner,
+    MultiGranularityResult,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -96,6 +108,41 @@ def _build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
     add_engine_arguments(mine_parser)
 
+    multigrain_parser = sub.add_parser(
+        "multigrain",
+        help="mine a dataset at several granularities (hierarchical engine)",
+    )
+    multigrain_parser.add_argument(
+        "--dataset", default="RE", choices=sorted(DATASET_BUILDERS)
+    )
+    multigrain_parser.add_argument(
+        "--profile", default="tiny", choices=sorted(PROFILES)
+    )
+    multigrain_parser.add_argument(
+        "--multiples", type=int, nargs="+", default=[1, 2, 4], metavar="M",
+        help="hierarchy levels as multiples of the dataset's own sequence "
+        "ratio (1 = the dataset's native granularity)",
+    )
+    multigrain_parser.add_argument("--min-season", type=int, default=4)
+    multigrain_parser.add_argument("--min-density-pct", type=float, default=0.75)
+    multigrain_parser.add_argument("--max-period-pct", type=float, default=0.4)
+    multigrain_parser.add_argument(
+        "--approximate", action="store_true", help="mine each level with A-STPM"
+    )
+    multigrain_parser.add_argument(
+        "--strategy", default=STRATEGY_FOLD, choices=sorted(STRATEGIES),
+        help="fold: derive coarse levels from the finest; rebuild: re-map "
+        "every level from the symbolic database (baseline)",
+    )
+    multigrain_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="archive the multi-level result as JSON (query with --level)",
+    )
+    multigrain_parser.add_argument(
+        "--limit", type=int, default=10, help="persistent patterns to print"
+    )
+    add_engine_arguments(multigrain_parser)
+
     stream_parser = sub.add_parser(
         "stream", help="replay a dataset as a live stream (incremental mining)"
     )
@@ -151,6 +198,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--min-size", type=int, default=1)
     query_parser.add_argument("--max-size", type=int, default=None)
     query_parser.add_argument("--min-seasons", type=int, default=0)
+    query_parser.add_argument(
+        "--level", type=int, default=None, metavar="RATIO",
+        help="for multigrain archives: query the level mined at this ratio "
+        "(default: the finest archived level)",
+    )
     query_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
     return parser
 
@@ -216,11 +268,52 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(result.describe(limit=args.limit))
         return 0
+    if args.command == "multigrain":
+        return _run_multigrain(args)
     if args.command == "stream":
         return _run_stream(args)
     if args.command == "query":
         return _run_query(args)
     return 1  # pragma: no cover - argparse enforces the choices
+
+
+def _run_multigrain(args) -> int:
+    """The ``multigrain`` subcommand: hierarchical multi-level mining."""
+    dataset = load_dataset(args.dataset, args.profile)
+    ratios = sorted({dataset.ratio * multiple for multiple in args.multiples})
+    if any(multiple < 1 for multiple in args.multiples):
+        print("error: --multiples must be >= 1", file=sys.stderr)
+        return 2
+    # The dataset's dist interval is expressed in its own sequence
+    # granules; the hierarchy spec wants fine granules (DSYB instants).
+    dist_interval = (
+        dataset.dist_interval[0] * dataset.ratio,
+        dataset.dist_interval[1] * dataset.ratio,
+    )
+    miner = HierarchicalMiner(
+        dataset.dsyb,
+        ratios=ratios,
+        max_period_pct=args.max_period_pct,
+        min_density_pct=args.min_density_pct,
+        dist_interval=dist_interval,
+        min_season=args.min_season,
+        miner=MINER_APPROXIMATE if args.approximate else MINER_EXACT,
+        strategy=args.strategy,
+        support_backend=args.support_backend,
+        executor=_executor_spec(args),
+        n_workers=args.workers,
+    )
+    result = miner.mine()
+    print(
+        f"hierarchical {'A-STPM' if args.approximate else 'E-STPM'} on "
+        f"{args.dataset} ({args.profile}): {len(result)} levels in "
+        f"{result.total_seconds:.2f}s ({args.strategy} strategy)"
+    )
+    print(result.describe(limit=args.limit))
+    if args.output:
+        multigrain_to_json(result, args.output)
+        print(f"multigrain archive written to {args.output}")
+    return 0
 
 
 def _run_stream(args) -> int:
@@ -267,7 +360,29 @@ def _run_stream(args) -> int:
 
 def _run_query(args) -> int:
     """The ``query`` subcommand: PatternQuery over an archived result."""
-    result = result_from_json(args.results)
+    archive = load_results_archive(args.results)
+    if isinstance(archive, MultiGranularityResult):
+        ratio = args.level if args.level is not None else archive.ratios[0]
+        if ratio not in archive.ratios:
+            print(
+                f"error: no archived level at ratio {ratio}; "
+                f"available: {archive.ratios}",
+                file=sys.stderr,
+            )
+            return 2
+        result = archive.level(ratio).result
+        print(
+            f"multigrain archive (levels at ratios {archive.ratios}); "
+            f"querying ratio {ratio}"
+        )
+    else:
+        if args.level is not None:
+            print(
+                "error: --level only applies to multigrain archives",
+                file=sys.stderr,
+            )
+            return 2
+        result = archive
     query = PatternQuery().min_size(args.min_size).min_seasons(args.min_seasons)
     if args.max_size is not None:
         query = query.max_size(args.max_size)

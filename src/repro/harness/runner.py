@@ -73,7 +73,9 @@ def run_all(
             started = time.perf_counter()
             if measure_memory:
                 result, peak_bytes = measure_peak_memory(
-                    lambda: run_experiment(artifact_id, profile=profile)
+                    # B023 does not apply: the lambda is invoked synchronously
+                    # inside this iteration, before artifact_id rebinds.
+                    lambda: run_experiment(artifact_id, profile=profile)  # noqa: B023
                 )
             else:
                 result = run_experiment(artifact_id, profile=profile)

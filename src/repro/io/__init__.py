@@ -2,7 +2,13 @@
 stream checkpoints."""
 
 from repro.io.csv_data import load_csv_series, save_csv_series
-from repro.io.results_json import result_from_json, result_to_json
+from repro.io.results_json import (
+    load_results_archive,
+    multigrain_from_json,
+    multigrain_to_json,
+    result_from_json,
+    result_to_json,
+)
 from repro.io.stream_checkpoint import (
     load_stream_checkpoint,
     save_stream_checkpoint,
@@ -13,6 +19,9 @@ __all__ = [
     "save_csv_series",
     "result_to_json",
     "result_from_json",
+    "multigrain_to_json",
+    "multigrain_from_json",
+    "load_results_archive",
     "save_stream_checkpoint",
     "load_stream_checkpoint",
 ]

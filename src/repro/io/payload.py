@@ -14,14 +14,13 @@ from pathlib import Path
 from repro.exceptions import ReproError
 
 
-def load_versioned_payload(
-    source: str | Path, expected_version: int, what: str
-) -> dict:
-    """Parse ``source`` (a path or JSON text) into a version-checked dict.
+def load_payload(source: str | Path, what: str) -> dict:
+    """Parse ``source`` (a path or JSON text) into a dict, version-unchecked.
 
     Raises :class:`ReproError` with a ``what``-specific message when the
-    payload is unparseable, not a JSON object, or carries a
-    ``format_version`` other than ``expected_version``.
+    payload is unreadable, unparseable, or not a JSON object.  Callers
+    that dispatch on a payload marker (e.g. the results archive ``kind``)
+    sniff first and apply :func:`check_payload_version` afterwards.
     """
     if isinstance(source, Path) or (
         isinstance(source, str) and not source.lstrip().startswith(("{", "["))
@@ -40,6 +39,11 @@ def load_versioned_payload(
         raise ReproError(
             f"{what} JSON must be an object, got {type(payload).__name__}"
         )
+    return payload
+
+
+def check_payload_version(payload: dict, expected_version: int, what: str) -> dict:
+    """Return ``payload`` if it carries ``expected_version``, raise otherwise."""
     version = payload.get("format_version")
     if version != expected_version:
         raise ReproError(
@@ -47,3 +51,17 @@ def load_versioned_payload(
             f"(expected {expected_version})"
         )
     return payload
+
+
+def load_versioned_payload(
+    source: str | Path, expected_version: int, what: str
+) -> dict:
+    """Parse ``source`` (a path or JSON text) into a version-checked dict.
+
+    Raises :class:`ReproError` with a ``what``-specific message when the
+    payload is unparseable, not a JSON object, or carries a
+    ``format_version`` other than ``expected_version``.
+    """
+    return check_payload_version(
+        load_payload(source, what), expected_version, what
+    )

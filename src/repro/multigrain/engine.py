@@ -1,0 +1,390 @@
+"""The hierarchical multi-granularity mining engine.
+
+:class:`HierarchicalMiner` mines an entire granularity hierarchy as one
+job instead of N independent ones:
+
+1. the finest requested level is sequence-mapped from the symbolic
+   database once and its event supports computed with the usual single
+   DSEQ scan;
+2. every coarser level whose ratio is a multiple of the finest derives
+   its event supports by *folding* the fine supports
+   (:meth:`~repro.core.supportset.SupportSet.coarsen` -- exact for
+   events) and its granule rows by *merging* the fine rows
+   (:meth:`~repro.transform.sequence_db.TemporalSequenceDatabase.coarsen`),
+   never re-walking the raw symbol stream;
+3. the cross-level screening (:mod:`repro.multigrain.screening`)
+   evaluates each coarse level's candidate gate on the folded supports
+   first, so rows are derived only for the granules some candidate event
+   actually supports;
+4. the levels are dispatched as independent tasks through the pluggable
+   :class:`~repro.core.executor.MiningExecutor` backends and mined with
+   E-STPM or A-STPM.
+
+Each level's :class:`~repro.core.results.MiningResult` is equivalent to
+mining that level standalone (same patterns, same supports / near sets /
+seasons) -- the parity tests assert this on all seed datasets for both
+support backends.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.approximate import ASTPM
+from repro.core.config import MiningParams
+from repro.core.executor import (
+    MiningExecutor,
+    SerialExecutor,
+    get_task_context,
+    resolve_executor,
+)
+from repro.core.prune import PruningConfig
+from repro.core.stpm import ESTPM
+from repro.core.supportset import default_backend, validate_backend
+from repro.exceptions import ConfigError
+from repro.granularity.hierarchy import GranularityHierarchy
+from repro.multigrain.result import GranularityLevel, MultiGranularityResult
+from repro.multigrain.screening import screen_level
+from repro.symbolic.database import SymbolicDatabase
+from repro.transform.sequence_db import (
+    TemporalSequenceDatabase,
+    build_sequence_database,
+)
+
+MINER_EXACT = "exact"
+MINER_APPROXIMATE = "approximate"
+MINER_KINDS = (MINER_EXACT, MINER_APPROXIMATE)
+
+#: ``fold`` derives coarse levels from the finest; ``rebuild`` re-maps
+#: every level from the symbolic database (the pre-hierarchical baseline,
+#: kept for the EXT4 benchmark and differential testing).
+STRATEGY_FOLD = "fold"
+STRATEGY_REBUILD = "rebuild"
+STRATEGIES = (STRATEGY_FOLD, STRATEGY_REBUILD)
+
+
+def resolve_level_params(
+    ratio: int,
+    n_sequences: int,
+    max_period_pct: float,
+    min_density_pct: float,
+    dist_interval: tuple[int, int],
+    min_season: int,
+    max_pattern_length: int = 3,
+    legacy_dist_floor: bool = False,
+) -> MiningParams:
+    """Resolve the shared hierarchy configuration against one level.
+
+    ``dist_interval`` is expressed in *fine* granules; each level converts
+    it to its own granule unit.  The lower bound floors (a season gap that
+    was legal at the fine level must stay legal) and the upper bound
+    *ceils*: a fine-level distance of ``d`` spans up to ``ceil(d/ratio)``
+    coarse granules, so flooring it -- the pre-1.3 behavior, kept behind
+    ``legacy_dist_floor`` for parity testing -- silently rejected season
+    distances that were valid at the fine level.
+    """
+    dist_min = dist_interval[0] // ratio
+    if legacy_dist_floor:
+        dist_max = dist_interval[1] // ratio
+    else:
+        dist_max = math.ceil(dist_interval[1] / ratio)
+    return MiningParams.from_percentages(
+        n_granules=n_sequences,
+        max_period_pct=max_period_pct,
+        min_density_pct=min_density_pct,
+        dist_interval=(dist_min, max(dist_min, dist_max)),
+        min_season=min_season,
+        max_pattern_length=max_pattern_length,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Level tasks: the pure, picklable per-level unit of work
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelJob:
+    """Everything one level task needs beyond the shared context.
+
+    ``dseq is None`` means the task rebuilds the level from the symbolic
+    database (the finest level of the ``rebuild`` strategy, or a ratio
+    the fold cannot reach).
+    """
+
+    ratio: int
+    n_sequences: int
+    params: MiningParams
+    dseq: TemporalSequenceDatabase | None
+    derived_from: int | None
+    n_events_screened: int = 0
+    n_granules_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class HierarchicalContext:
+    """Read-only state shared by every level task of one hierarchical run."""
+
+    jobs: tuple[LevelJob, ...]
+    dsyb: SymbolicDatabase
+    pruning: PruningConfig
+    miner: str
+    event_level: bool
+    support_backend: str
+
+
+def mine_level_task(index: int) -> GranularityLevel:
+    """Mine one hierarchy level (pure function of the installed context).
+
+    The inner miner always runs serially: the hierarchy's own executor
+    already owns the parallelism, and one level is a single task.
+    """
+    context: HierarchicalContext = get_task_context()
+    job = context.jobs[index]
+    started = time.perf_counter()
+    dseq = job.dseq
+    if dseq is None:
+        dseq = build_sequence_database(context.dsyb, job.ratio)
+    if context.miner == MINER_APPROXIMATE:
+        result = ASTPM(
+            context.dsyb,
+            job.ratio,
+            job.params,
+            pruning=context.pruning,
+            dseq=dseq,
+            event_level=context.event_level,
+            support_backend=context.support_backend,
+            executor=SerialExecutor(),
+        ).mine()
+    else:
+        result = ESTPM(
+            dseq,
+            job.params,
+            context.pruning,
+            support_backend=context.support_backend,
+            executor=SerialExecutor(),
+        ).mine()
+    return GranularityLevel(
+        ratio=job.ratio,
+        n_sequences=job.n_sequences,
+        params=job.params,
+        result=result,
+        derived_from=job.derived_from,
+        n_events_screened=job.n_events_screened,
+        n_granules_skipped=job.n_granules_skipped,
+        seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The hierarchical miner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HierarchicalMiner:
+    """Mine one symbolic database at every level of a hierarchy.
+
+    Parameters
+    ----------
+    dsyb:
+        The symbolic database at the finest granularity G.
+    ratios:
+        Sequence-mapping ratios, one per level (each must leave at least
+        ``min_sequences`` complete sequences).  The smallest ratio is the
+        *base* level; coarser ratios that are multiples of it are
+        fold-derived, others fall back to a rebuild from DSYB.
+    max_period_pct / min_density_pct:
+        Table VI style percentage thresholds, re-resolved per level.
+    dist_interval:
+        Season distance interval *in fine granules*; converted per level
+        by :func:`resolve_level_params` (floor lower bound, ceil upper).
+    min_season / max_pattern_length / pruning:
+        As in :class:`~repro.core.stpm.ESTPM`.
+    miner:
+        ``"exact"`` (E-STPM) or ``"approximate"`` (A-STPM with MI
+        screening; ``event_level=True`` adds its event-level extension).
+    strategy:
+        ``"fold"`` (derive coarse levels, the default) or ``"rebuild"``
+        (re-map every level from DSYB -- the baseline the EXT4 benchmark
+        measures the fold against).
+    legacy_dist_floor:
+        Restore the pre-1.3 flooring of the dist upper bound.
+    support_backend / executor / n_workers:
+        Engine knobs; the executor dispatches *levels* (each level task
+        mines serially inside).
+    """
+
+    dsyb: SymbolicDatabase
+    ratios: list[int]
+    max_period_pct: float = 0.4
+    min_density_pct: float = 0.5
+    dist_interval: tuple[int, int] = (0, 10_000)
+    min_season: int = 2
+    max_pattern_length: int = 3
+    pruning: PruningConfig = field(default_factory=PruningConfig.all)
+    min_sequences: int = 4
+    miner: str = MINER_EXACT
+    strategy: str = STRATEGY_FOLD
+    event_level: bool = False
+    legacy_dist_floor: bool = False
+    support_backend: str | None = None
+    executor: MiningExecutor | str | None = None
+    n_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.ratios:
+            raise ConfigError("multi-granularity mining needs at least one ratio")
+        if sorted(set(self.ratios)) != sorted(self.ratios):
+            raise ConfigError(f"duplicate ratios in {self.ratios}")
+        if any(ratio < 1 for ratio in self.ratios):
+            raise ConfigError(f"ratios must be >= 1, got {self.ratios}")
+        if self.miner not in MINER_KINDS:
+            raise ConfigError(
+                f"unknown miner kind {self.miner!r}; choose from {MINER_KINDS}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {self.strategy!r}; choose from {STRATEGIES}"
+            )
+
+    @classmethod
+    def from_hierarchy(
+        cls,
+        dsyb: SymbolicDatabase,
+        hierarchy: GranularityHierarchy,
+        **settings,
+    ) -> "HierarchicalMiner":
+        """Mine every level of a :class:`GranularityHierarchy`.
+
+        The hierarchy's finest level is taken to be the granularity of
+        the DSYB itself, so level ``i`` mines at sequence-mapping ratio
+        ``hierarchy.ratio(0, i)`` (level 0 at ratio 1: one symbol per
+        sequence).
+        """
+        ratios = [hierarchy.ratio(0, index) for index in range(len(hierarchy))]
+        return cls(dsyb, ratios=ratios, **settings)
+
+    def params_for(self, ratio: int, n_sequences: int) -> MiningParams:
+        """Resolve the shared configuration against one level."""
+        return resolve_level_params(
+            ratio=ratio,
+            n_sequences=n_sequences,
+            max_period_pct=self.max_period_pct,
+            min_density_pct=self.min_density_pct,
+            dist_interval=self.dist_interval,
+            min_season=self.min_season,
+            max_pattern_length=self.max_pattern_length,
+            legacy_dist_floor=self.legacy_dist_floor,
+        )
+
+    def _validated_levels(self) -> list[tuple[int, int]]:
+        """Ascending ``(ratio, n_sequences)`` pairs, size-checked."""
+        levels: list[tuple[int, int]] = []
+        for ratio in sorted(self.ratios):
+            n_sequences = self.dsyb.n_instants // ratio
+            if n_sequences < self.min_sequences:
+                raise ConfigError(
+                    f"ratio {ratio} leaves only {n_sequences} sequences "
+                    f"(< {self.min_sequences}); drop it or supply more data"
+                )
+            levels.append((ratio, n_sequences))
+        return levels
+
+    def _build_jobs(self, backend: str) -> list[LevelJob]:
+        """Plan one job per level (deriving DSEQs under the fold strategy)."""
+        levels = self._validated_levels()
+        jobs: list[LevelJob] = []
+        if self.strategy == STRATEGY_REBUILD:
+            for ratio, n_sequences in levels:
+                jobs.append(
+                    LevelJob(
+                        ratio=ratio,
+                        n_sequences=n_sequences,
+                        params=self.params_for(ratio, n_sequences),
+                        dseq=None,
+                        derived_from=None,
+                    )
+                )
+            return jobs
+
+        base_ratio, base_n = levels[0]
+        base_dseq = build_sequence_database(self.dsyb, base_ratio)
+        base_supports = base_dseq.event_support(backend)
+        jobs.append(
+            LevelJob(
+                ratio=base_ratio,
+                n_sequences=base_n,
+                params=self.params_for(base_ratio, base_n),
+                dseq=base_dseq,
+                derived_from=None,
+            )
+        )
+        for ratio, n_sequences in levels[1:]:
+            params = self.params_for(ratio, n_sequences)
+            if ratio % base_ratio != 0:
+                # Not reachable by an integer fold; rebuild this level.
+                jobs.append(
+                    LevelJob(
+                        ratio=ratio,
+                        n_sequences=n_sequences,
+                        params=params,
+                        dseq=None,
+                        derived_from=None,
+                    )
+                )
+                continue
+            factor = ratio // base_ratio
+            screening = screen_level(
+                base_supports, factor, n_sequences, params, ratio
+            )
+            # Rows back the per-granule instance tables of step 2.2: a
+            # single-event run never reads them (derive none), the default
+            # apriori-gated miner reads them only for gate-passing events
+            # (derive the screened granules), and with apriori pruning
+            # disabled every event gets tables (derive everything -- the
+            # screening gate is exactly what NoPrune turns off).
+            if self.max_pattern_length < 2:
+                granules: frozenset[int] | None = frozenset()
+            elif self.pruning.apriori:
+                granules = screening.granules
+            else:
+                granules = None
+            dseq = base_dseq.coarsen(factor, granules=granules)
+            dseq.prime_event_support(screening.supports, backend)
+            jobs.append(
+                LevelJob(
+                    ratio=ratio,
+                    n_sequences=n_sequences,
+                    params=params,
+                    dseq=dseq,
+                    derived_from=base_ratio,
+                    n_events_screened=(
+                        screening.n_screened_out if self.pruning.apriori else 0
+                    ),
+                    n_granules_skipped=(
+                        0 if granules is None else n_sequences - len(granules)
+                    ),
+                )
+            )
+        return jobs
+
+    def mine(self) -> MultiGranularityResult:
+        """Mine every level and align the results across the hierarchy."""
+        backend = validate_backend(self.support_backend or default_backend())
+        runner = resolve_executor(self.executor, self.n_workers)
+        jobs = self._build_jobs(backend)
+        context = HierarchicalContext(
+            jobs=tuple(jobs),
+            dsyb=self.dsyb,
+            pruning=self.pruning,
+            miner=self.miner,
+            event_level=self.event_level,
+            support_backend=backend,
+        )
+        levels = list(
+            runner.map_tasks(mine_level_task, list(range(len(jobs))), context)
+        )
+        return MultiGranularityResult(levels=levels)

@@ -14,7 +14,10 @@ one:
   guarantee;
 * :mod:`repro.streaming.service` -- the long-lived service wiring it all
   together, with checkpointing through the :mod:`repro.io` layer and
-  dataset replay for the harness/benchmarks.
+  dataset replay for the harness/benchmarks;
+* :mod:`repro.streaming.multigrain` -- one ingest feeding an incremental
+  miner per granularity ratio, coarse granules fold-derived from the
+  base level's rows.
 """
 
 from repro.streaming.incremental import (
@@ -27,6 +30,7 @@ from repro.streaming.ingest import (
     StreamingSymbolizer,
     quantile_thresholds,
 )
+from repro.streaming.multigrain import MultiGrainStreamingService
 from repro.streaming.service import StreamingMiningService, replay_dataset
 from repro.streaming.state import MinerState
 
@@ -38,6 +42,7 @@ __all__ = [
     "StreamingSymbolizer",
     "quantile_thresholds",
     "StreamingMiningService",
+    "MultiGrainStreamingService",
     "replay_dataset",
     "MinerState",
 ]

@@ -14,6 +14,7 @@ relation arithmetic is uniform across granules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.supportset import (
     SupportSet,
@@ -134,6 +135,149 @@ class TemporalSequenceDatabase:
             ratio=self.ratio,
             source_names=list(self.source_names),
         )
+
+    def prime_event_support(
+        self, supports: dict[str, SupportSet], backend: str | None = None
+    ) -> None:
+        """Install precomputed per-event supports for ``backend``.
+
+        The hierarchical miner derives a coarse level's event supports by
+        folding the finer level's (:meth:`SupportSet.coarsen`) instead of
+        re-scanning the rows; priming the cache makes
+        :meth:`event_support` serve the folded sets directly.  The caller
+        guarantees the supports equal what a scan would compute -- for
+        event supports the fold is exact (see
+        :meth:`repro.core.supportset.SupportSet.coarsen`).
+        """
+        backend = validate_backend(backend or default_backend())
+        self._support_cache[backend] = dict(supports)
+
+    def coarsen(
+        self, factor: int, granules: Iterable[int] | None = None
+    ) -> "TemporalSequenceDatabase":
+        """Derive the ``factor``-times coarser DSEQ from this one.
+
+        Every ``factor`` adjacent rows merge into one coarse row whose
+        instances are re-run-grouped at the boundaries (Def. 3.10: runs
+        never span granule boundaries *of their own granularity*, so runs
+        split by a fine boundary fuse back together at the coarse level).
+        The result's rows equal ``build_sequence_database(dsyb,
+        self.ratio * factor)`` -- without re-walking the symbol stream.
+        A trailing group of fewer than ``factor`` rows is dropped,
+        mirroring the sequence mapping's complete-block rule.
+
+        ``granules``, if given, lists the 1-based coarse positions whose
+        rows are actually needed (the union of the candidate events'
+        folded supports); other positions get an
+        :class:`UnmaterializedSequence` placeholder that raises on access,
+        so cross-level screening can skip the merge work for granules no
+        candidate event touches without any risk of silently serving
+        empty rows.
+        """
+        if factor < 1:
+            raise TransformError(f"coarsening factor must be >= 1, got {factor}")
+        n_coarse = len(self.rows) // factor
+        if n_coarse == 0:
+            raise TransformError(
+                f"coarsening factor {factor} exceeds the {len(self.rows)} rows"
+            )
+        materialize = None if granules is None else set(granules)
+        series_memo: dict[str, str] = {}
+        rows: list[TemporalSequence] = []
+        for position in range(1, n_coarse + 1):
+            if materialize is not None and position not in materialize:
+                rows.append(UnmaterializedSequence(position=position))
+            else:
+                rows.append(
+                    merge_sequences(
+                        self.rows[(position - 1) * factor : position * factor],
+                        position,
+                        series_memo,
+                    )
+                )
+        return TemporalSequenceDatabase(
+            rows=rows,
+            ratio=self.ratio * factor,
+            source_names=list(self.source_names),
+        )
+
+
+class UnmaterializedSequence(TemporalSequence):
+    """Placeholder row for a coarse granule the screening proved irrelevant.
+
+    Cross-level screening materializes only the granules some candidate
+    event supports; every other position gets this sentinel.  Any attempt
+    to read it is a bug in the screening soundness argument, so it raises
+    loudly instead of serving an empty sequence.
+    """
+
+    def _unavailable(self) -> TransformError:
+        return TransformError(
+            f"granule {self.position} was screened out of this derived DSEQ "
+            "and never materialized; re-derive with coarsen(factor) for full rows"
+        )
+
+    def events(self) -> list[str]:
+        raise self._unavailable()
+
+    def instances_of(self, event: str) -> list[EventInstance]:
+        raise self._unavailable()
+
+    def __contains__(self, event: str) -> bool:
+        raise self._unavailable()
+
+    def __len__(self) -> int:
+        raise self._unavailable()
+
+    def describe(self) -> str:
+        raise self._unavailable()
+
+
+def merge_sequences(
+    rows: list[TemporalSequence],
+    position: int,
+    series_memo: dict[str, str] | None = None,
+) -> TemporalSequence:
+    """Merge adjacent fine granule rows into one coarse temporal sequence.
+
+    Within each series the fine rows' instances tile their granules
+    contiguously, so concatenating them per series and fusing the
+    boundary runs that carry the same event (the last run of one fine
+    granule and the first of the next are adjacent by construction)
+    reproduces exactly the run grouping of Def. 3.10 at the coarse
+    granularity.  Shared by :meth:`TemporalSequenceDatabase.coarsen` and
+    the multigrain streaming service.
+
+    ``series_memo`` caches the event-key -> series split across calls
+    (the event vocabulary is tiny next to the instance count, so callers
+    merging many rows pass one shared dict).
+    """
+    if series_memo is None:
+        series_memo = {}
+    per_series: dict[str, list[EventInstance]] = {}
+    for row in rows:
+        at_boundary: set[str] = set()
+        for instance in row.instances:
+            series = series_memo.get(instance.event)
+            if series is None:
+                series = series_memo[instance.event] = instance.event.rsplit(":", 1)[0]
+            runs = per_series.setdefault(series, [])
+            if series not in at_boundary:
+                at_boundary.add(series)
+                if (
+                    runs
+                    and runs[-1].event == instance.event
+                    and runs[-1].end + 1 == instance.start
+                ):
+                    runs[-1] = EventInstance(
+                        instance.event, runs[-1].start, instance.end
+                    )
+                    continue
+            runs.append(instance)
+    merged = TemporalSequence(position=position)
+    for runs in per_series.values():
+        merged.instances.extend(runs)
+    return merged.finalize()
 
 
 def granule_instances(

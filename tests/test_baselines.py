@@ -1,7 +1,5 @@
 """Unit tests for APS-growth and the naive oracle miner."""
 
-import pytest
-
 from repro import ESTPM, MiningParams, SymbolicDatabase, build_sequence_database
 from repro.baselines import APSGrowth, NaiveSTPM
 from repro.baselines.apsgrowth import transactions_from_dseq

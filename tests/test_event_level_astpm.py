@@ -1,7 +1,5 @@
 """Tests for the event-level A-STPM extension (the paper's future work)."""
 
-import pytest
-
 from repro import ASTPM, ESTPM, MiningParams, SymbolicDatabase, build_sequence_database
 from repro.core.approximate import screen_correlated_series, screen_events
 from repro.symbolic import Alphabet, SymbolicSeries

@@ -15,7 +15,12 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
-FAST_EXAMPLES = ["quickstart.py", "custom_data.py", "streaming_updates.py"]
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_data.py",
+    "streaming_updates.py",
+    "multi_granularity.py",
+]
 
 
 def test_every_expected_example_exists():
@@ -28,6 +33,7 @@ def test_every_expected_example_exists():
         "traffic_incidents.py",
         "advanced_workflow.py",
         "streaming_updates.py",
+        "multi_granularity.py",
     } <= names
 
 

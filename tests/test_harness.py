@@ -19,7 +19,7 @@ class TestTable:
         assert "long header" in text
         assert "2.50" in text
         assert "note" in text
-        lines = [l for l in text.splitlines() if "|" in l]
+        lines = [line for line in text.splitlines() if "|" in line]
         assert len({line.index("|") for line in lines}) == 1  # aligned
 
 
@@ -151,6 +151,60 @@ class TestCli:
         assert "promoted" in out
         assert "parity verified" in out
         assert checkpoint.exists()
+
+    def test_multigrain(self, capsys, tmp_path):
+        archive = tmp_path / "multigrain.json"
+        assert (
+            cli_main(
+                [
+                    "multigrain", "--dataset", "INF", "--profile", "tiny",
+                    "--multiples", "1", "2", "--min-season", "2",
+                    "--min-density-pct", "1.0", "--limit", "3",
+                    "--output", str(archive),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hierarchical E-STPM" in out
+        assert "fold-derived from ratio" in out
+        assert archive.exists()
+
+    def test_multigrain_query_level(self, capsys, tmp_path):
+        archive = tmp_path / "multigrain.json"
+        assert (
+            cli_main(
+                [
+                    "multigrain", "--dataset", "INF", "--profile", "tiny",
+                    "--multiples", "1", "2", "--min-season", "2",
+                    "--min-density-pct", "1.0", "--output", str(archive),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert cli_main(["query", str(archive), "--level", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "querying ratio 14" in out
+        assert "archived patterns match" in out
+        # Unknown level is a usage error, not a traceback.
+        assert cli_main(["query", str(archive), "--level", "5"]) == 2
+        # Without --level the finest archived level is queried.
+        assert cli_main(["query", str(archive)]) == 0
+        assert "querying ratio 7" in capsys.readouterr().out
+
+    def test_query_level_rejected_on_flat_archives(self, capsys, tmp_path):
+        from repro import ESTPM
+        from repro.datasets import load_dataset
+        from repro.io import result_to_json
+
+        dataset = load_dataset("INF", "tiny")
+        result = ESTPM(
+            dataset.dseq(), dataset.params(min_season=2, min_density_pct=1.0)
+        ).mine()
+        path = tmp_path / "results.json"
+        result_to_json(result, path)
+        assert cli_main(["query", str(path), "--level", "7"]) == 2
 
     def test_query(self, capsys, tmp_path):
         from repro import ESTPM

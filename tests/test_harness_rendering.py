@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets.dataset import Dataset, symbolize
+from repro.datasets.dataset import symbolize
 from repro.exceptions import DatasetError
 from repro.harness.figures import Figure
 from repro.harness.tables import Table
@@ -42,8 +42,8 @@ class TestFigureEdges:
         figure.add_series("slow", [4.0])
         figure.add_series("fast", [1.0])
         lines = figure.render().splitlines()
-        slow_bar = next(l for l in lines if l.strip().startswith("slow"))
-        fast_bar = next(l for l in lines if l.strip().startswith("fast"))
+        slow_bar = next(line for line in lines if line.strip().startswith("slow"))
+        fast_bar = next(line for line in lines if line.strip().startswith("fast"))
         assert slow_bar.count("#") > fast_bar.count("#")
 
 

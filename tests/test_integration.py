@@ -2,8 +2,6 @@
 mining -> harness reporting."""
 
 import numpy as np
-import pytest
-
 from repro import (
     ASTPM,
     ESTPM,
@@ -14,7 +12,6 @@ from repro import (
     build_sequence_database,
 )
 from repro.baselines import APSGrowth
-from repro.datasets import load_dataset
 from repro.datasets.synthetic import lagged_response, noisy, seasonal_pulses
 from repro.harness import run_experiment
 from repro.metrics import accuracy_pct

@@ -6,7 +6,15 @@ import pytest
 
 from repro import ESTPM
 from repro.exceptions import DatasetError, ReproError
-from repro.io import load_csv_series, result_from_json, result_to_json, save_csv_series
+from repro.io import (
+    load_csv_series,
+    load_results_archive,
+    multigrain_from_json,
+    multigrain_to_json,
+    result_from_json,
+    result_to_json,
+    save_csv_series,
+)
 from repro.symbolic import TimeSeries
 
 
@@ -137,3 +145,74 @@ class TestResultJson:
         assert first == second
         parsed = json.loads(first)
         assert parsed["format_version"] == 1
+
+
+class TestMultigrainJson:
+    @pytest.fixture(scope="class")
+    def hierarchical(self, paper_dsyb):
+        from repro.multigrain import HierarchicalMiner
+
+        return HierarchicalMiner(
+            paper_dsyb, ratios=[3, 6], dist_interval=(0, 42), min_season=1
+        ).mine()
+
+    def test_roundtrip(self, hierarchical):
+        restored = multigrain_from_json(multigrain_to_json(hierarchical))
+        assert restored.ratios == hierarchical.ratios
+        for original, loaded in zip(hierarchical.levels, restored.levels):
+            assert loaded.n_sequences == original.n_sequences
+            assert loaded.derived_from == original.derived_from
+            assert loaded.params == original.params
+            assert loaded.result.pattern_keys() == original.result.pattern_keys()
+            assert (
+                loaded.result.seasonal_map() == original.result.seasonal_map()
+            )
+        assert restored.persistence() == hierarchical.persistence()
+
+    def test_file_roundtrip(self, hierarchical, tmp_path):
+        path = tmp_path / "multigrain.json"
+        multigrain_to_json(hierarchical, path)
+        restored = multigrain_from_json(path)
+        assert restored.ratios == hierarchical.ratios
+
+    def test_result_loader_rejects_multigrain_archives(self, hierarchical):
+        text = multigrain_to_json(hierarchical)
+        with pytest.raises(ReproError) as excinfo:
+            result_from_json(text)
+        assert "multigrain" in str(excinfo.value)
+
+    def test_multigrain_loader_rejects_flat_archives(
+        self, paper_dseq, paper_params
+    ):
+        text = result_to_json(ESTPM(paper_dseq, paper_params).mine())
+        with pytest.raises(ReproError) as excinfo:
+            multigrain_from_json(text)
+        assert "not a multigrain" in str(excinfo.value)
+
+    def test_empty_levels_rejected(self):
+        payload = json.dumps(
+            {"format_version": 1, "kind": "multigrain", "levels": []}
+        )
+        with pytest.raises(ReproError) as excinfo:
+            multigrain_from_json(payload)
+        assert "no levels" in str(excinfo.value)
+
+    def test_malformed_level_rejected(self, hierarchical):
+        payload = json.loads(multigrain_to_json(hierarchical))
+        del payload["levels"][0]["params"]["max_period"]
+        with pytest.raises(ReproError) as excinfo:
+            multigrain_from_json(json.dumps(payload))
+        assert "malformed" in str(excinfo.value)
+
+    def test_load_results_archive_sniffs_both_kinds(
+        self, hierarchical, paper_dseq, paper_params
+    ):
+        from repro.core.results import MiningResult
+        from repro.multigrain import MultiGranularityResult
+
+        flat = load_results_archive(
+            result_to_json(ESTPM(paper_dseq, paper_params).mine())
+        )
+        assert isinstance(flat, MiningResult)
+        multi = load_results_archive(multigrain_to_json(hierarchical))
+        assert isinstance(multi, MultiGranularityResult)

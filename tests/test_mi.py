@@ -1,11 +1,8 @@
 """Unit tests for entropy / mutual information (paper Defs. 5.1-5.3)."""
 
-import math
-
 import pytest
 
 from repro import (
-    SymbolicDatabase,
     conditional_entropy,
     entropy,
     mutual_information,

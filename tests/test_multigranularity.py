@@ -1,8 +1,17 @@
-"""Unit tests for multi-granularity mining (paper contribution (1))."""
+"""Unit tests for multi-granularity mining (paper contribution (1)).
+
+Since 1.3 :class:`MultiGranularityMiner` is a deprecation shim over
+:class:`repro.multigrain.HierarchicalMiner`; these tests pin the legacy
+surface (construction contract, per-level params, result shape) plus the
+``dist_interval`` ceil bugfix and its ``legacy_dist_floor`` escape hatch.
+"""
+
+import warnings
 
 import pytest
 
-from repro import ESTPM, MultiGranularityMiner, SymbolicDatabase
+from repro import ESTPM, HierarchicalMiner, MultiGranularityMiner, SymbolicDatabase
+from repro.core.results import results_equivalent
 from repro.exceptions import ConfigError
 
 
@@ -52,6 +61,77 @@ class TestLevelMining:
         )
         levels = miner.mine_all()
         assert all(len(level.result) > 0 for level in levels)
+
+
+class TestDistIntervalRounding:
+    def test_upper_bound_is_ceiled(self, dsyb):
+        # Regression: the old params_for floored both ends, so a season
+        # distance of 10 fine granules (= 3.33 coarse at ratio 3) was
+        # silently rejected at the coarse level even though it was valid
+        # at the fine one.  The upper bound now rounds up.
+        miner = MultiGranularityMiner(dsyb, ratios=[3], dist_interval=(0, 10))
+        params = miner.params_for(3, 60)
+        assert params.dist_interval == (0, 4)
+
+    def test_lower_bound_still_floors(self, dsyb):
+        params = MultiGranularityMiner(
+            dsyb, ratios=[3], dist_interval=(7, 10)
+        ).params_for(3, 60)
+        assert params.dist_interval == (2, 4)
+
+    def test_legacy_flag_restores_the_floor(self, dsyb):
+        legacy = MultiGranularityMiner(
+            dsyb, ratios=[3], dist_interval=(0, 10), legacy_dist_floor=True
+        ).params_for(3, 60)
+        assert legacy.dist_interval == (0, 3)
+
+    def test_exact_divisions_are_unchanged(self, dsyb):
+        params = MultiGranularityMiner(
+            dsyb, ratios=[3], dist_interval=(6, 60)
+        ).params_for(3, 60)
+        assert params.dist_interval == (2, 20)
+
+    def test_ceil_never_loses_coarse_patterns(self, dsyb):
+        # The ceiled interval is a superset of the floored one, so every
+        # pattern found under the legacy thresholds survives the fix.
+        fixed = MultiGranularityMiner(
+            dsyb, ratios=[6], dist_interval=(0, 45), min_season=2
+        )
+        legacy = MultiGranularityMiner(
+            dsyb, ratios=[6], dist_interval=(0, 45), min_season=2,
+            legacy_dist_floor=True,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            fixed_level = fixed.mine_all()[0]
+            legacy_level = legacy.mine_all()[0]
+        assert legacy_level.result.pattern_keys() <= fixed_level.result.pattern_keys()
+
+
+class TestDeprecationShim:
+    def test_mine_all_warns_once_per_call(self, dsyb):
+        miner = MultiGranularityMiner(
+            dsyb, ratios=[3], dist_interval=(0, 120), min_season=2
+        )
+        with pytest.warns(DeprecationWarning, match="HierarchicalMiner"):
+            miner.mine_all()
+
+    def test_shim_matches_the_hierarchical_engine(self, dsyb):
+        shim = MultiGranularityMiner(
+            dsyb, ratios=[3, 6], dist_interval=(0, 120), min_season=2
+        )
+        engine = HierarchicalMiner(
+            dsyb, ratios=[3, 6], dist_interval=(0, 120), min_season=2
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_levels = shim.mine_all()
+        hierarchical = engine.mine()
+        assert [level.ratio for level in legacy_levels] == hierarchical.ratios
+        for legacy_level, level in zip(legacy_levels, hierarchical.levels):
+            assert legacy_level.params == level.params
+            assert legacy_level.n_sequences == level.n_sequences
+            assert results_equivalent(legacy_level.result, level.result)
 
 
 class TestValidation:

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.pattern import TemporalPattern, Triple, pattern_from_instances
+from repro.core.pattern import TemporalPattern, pattern_from_instances
 from repro.core.results import MiningResult, MiningStats, SeasonalPattern
 from repro.core.seasonality import SeasonView
 from repro.events import EventInstance, RelationConfig

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import ESTPM, PatternQuery, subpatterns_of, superpatterns_of
-from repro.events import CONTAINS, FOLLOWS
+from repro.events import CONTAINS
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,5 @@
 """Unit + golden tests for the seasonality measures (Defs. 3.13-3.15, Eq. 1)."""
 
-import pytest
-
 from repro import MiningParams, compute_seasons, max_season
 from repro.core.seasonality import (
     count_seasons,

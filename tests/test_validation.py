@@ -1,7 +1,5 @@
 """Unit + failure-injection tests for the result validator."""
 
-import dataclasses
-
 import pytest
 
 from repro import ESTPM, TemporalPattern, Triple, validate_result, validate_seasonal_pattern
