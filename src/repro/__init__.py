@@ -32,6 +32,8 @@ from repro.core.executor import (
     MiningExecutor,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
+    executor_scope,
     resolve_executor,
     set_default_executor,
 )
@@ -95,7 +97,7 @@ from repro.symbolic import (
 )
 from repro.transform import TemporalSequenceDatabase, build_sequence_database
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # granularity
@@ -163,6 +165,8 @@ __all__ = [
     "MiningExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ThreadExecutor",
+    "executor_scope",
     "resolve_executor",
     "set_default_executor",
     # streaming

@@ -11,8 +11,9 @@ Public entry points:
 * :class:`~repro.core.results.MiningResult` -- patterns plus statistics.
 * :class:`~repro.core.supportset.SupportSet` -- the support-set algebra
   (bitset / sorted-list representations).
-* :class:`~repro.core.executor.MiningExecutor` -- serial / process-pool
-  execution backends for the per-group mining work.
+* :class:`~repro.core.executor.MiningExecutor` -- serial / process-pool /
+  thread-pool execution backends for the per-group mining work, with
+  reusable worker pools (see :func:`~repro.core.executor.executor_scope`).
 """
 
 from repro.core.config import MiningParams
@@ -21,6 +22,8 @@ from repro.core.executor import (
     MiningExecutor,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
+    executor_scope,
     resolve_executor,
     set_default_executor,
 )
@@ -57,6 +60,8 @@ __all__ = [
     "MiningExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ThreadExecutor",
+    "executor_scope",
     "resolve_executor",
     "set_default_executor",
 ]

@@ -25,7 +25,7 @@ from itertools import combinations
 
 from repro.core.bounds import mu_threshold, series_pair_mu
 from repro.core.config import MiningParams
-from repro.core.executor import MiningExecutor
+from repro.core.executor import MiningExecutor, executor_scope
 from repro.core.mi import normalized_mutual_information
 from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult
@@ -179,18 +179,21 @@ class ASTPM:
             event_filter = screen_events(self.dsyb, self.params, len(dseq), report)
         # Alg. 2 line 7 iterates pairs *of XC*: once a series survives the
         # MI screening it participates in every 2-event group with other
-        # survivors, so only the series filter applies here.
-        miner = ESTPM(
-            dseq,
-            self.params,
-            self.pruning,
-            series_filter=set(report.correlated_series),
-            event_filter=event_filter,
-            support_backend=self.support_backend,
-            executor=self.executor,
-            n_workers=self.n_workers,
-        )
-        result = miner.mine()
+        # survivors, so only the series filter applies here.  The executor
+        # is resolved once and handed to the inner engine as an instance,
+        # so a pool-backed backend spawns (and, for name specs, closes)
+        # exactly one pool per A-STPM job.
+        with executor_scope(self.executor, self.n_workers) as runner:
+            miner = ESTPM(
+                dseq,
+                self.params,
+                self.pruning,
+                series_filter=set(report.correlated_series),
+                event_filter=event_filter,
+                support_backend=self.support_backend,
+                executor=runner,
+            )
+            result = miner.mine()
         result.stats.mi_seconds = report.mi_seconds
         result.stats.n_series_pruned = report.n_pruned_series
         return result

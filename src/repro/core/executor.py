@@ -11,19 +11,62 @@ hands the list to an executor:
 * :class:`SerialExecutor` runs the tasks in order in-process (the default;
   zero overhead, exactly the classical single-threaded miner);
 * :class:`ParallelExecutor` fans the tasks out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`, shipping the level
-  context once per worker (pool initializer) and the tasks in chunks.
+  :class:`concurrent.futures.ProcessPoolExecutor` owned by the executor
+  *instance*: the pool is spawned lazily on first use and then reused by
+  every ``map_tasks`` call -- across HLH levels, across jobs, across a
+  whole multigrain hierarchy -- until :meth:`~ParallelExecutor.close`
+  (or the context manager / interpreter-exit safety net) releases it.
+  Each call broadcasts its level context to the workers first (pickled
+  once in the parent, unpickled once per worker), then ships the tasks in
+  adaptively sized chunks;
+* :class:`ThreadExecutor` fans the tasks out over a reusable
+  :class:`concurrent.futures.ThreadPoolExecutor`.  The context is shared
+  zero-copy (same object, read-only by contract), which makes threads the
+  cheapest backend for small-context levels and for task functions that
+  release the GIL; pure-Python group mining stays serialized by the GIL.
 
-Both preserve the submission order of the results, so a
+All backends preserve the submission order of the results, so a
 :class:`~repro.core.results.MiningResult` is identical -- same patterns,
 same supports, same season views, same ordering -- whichever backend ran
 the level (asserted by the parity tests).
+
+Lifecycle
+---------
+Executors are context managers and expose ``close()``::
+
+    with ParallelExecutor(max_workers=8) as runner:
+        ESTPM(dseq, params, executor=runner).mine()      # spawns the pool
+        ESTPM(dseq2, params, executor=runner).mine()     # reuses it
+
+Engine entry points that *resolve a backend name* own the resulting
+executor and close it when the job finishes (:func:`executor_scope`);
+instances passed in by the caller are never closed -- the caller decides
+when the pool dies.  A :func:`weakref.finalize` hook shuts down any pool
+still alive at garbage collection or interpreter exit, so an unclosed
+executor can never leak worker processes.
+
+Start methods and pool reuse
+----------------------------
+Under the ``fork`` start method (Linux default) a *fresh* pool inherits
+the level context for free via copy-on-write, so per-call pools are
+cheap and ``reuse_pool`` defaults to off.  Under ``spawn`` semantics
+(macOS/Windows default, and the portable behavior) every pool spawn
+boots new interpreters and re-imports the code -- hundreds of
+milliseconds per mining level -- so ``reuse_pool`` defaults to on and
+one persistent pool serves the whole run.  Both knobs can be forced
+explicitly (``ParallelExecutor(reuse_pool=True, start_method="spawn")``),
+and the EXT2 benchmark records the measured pool-reuse delta.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+import threading
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.exceptions import ConfigError
@@ -31,21 +74,37 @@ from repro.exceptions import ConfigError
 #: Executor names accepted wherever a backend can be chosen.
 EXECUTOR_SERIAL = "serial"
 EXECUTOR_PARALLEL = "parallel"
-EXECUTOR_BACKENDS = (EXECUTOR_SERIAL, EXECUTOR_PARALLEL)
+EXECUTOR_THREADS = "threads"
+EXECUTOR_BACKENDS = (EXECUTOR_SERIAL, EXECUTOR_PARALLEL, EXECUTOR_THREADS)
 
-#: The per-process task context (the read-only level state workers use).
-_TASK_CONTEXT: Any = None
+#: The per-thread task context (the read-only level state tasks read).
+#: Thread-local so the threads backend can run tasks -- including tasks
+#: that nest a serial miner, like the hierarchical level tasks -- in many
+#: worker threads without trampling each other's context.
+_TLS = threading.local()
+
+#: Seconds a worker waits for the rest of the pool during a context
+#: broadcast before declaring the pool broken.
+_BROADCAST_TIMEOUT = 120.0
+
+#: ``_chunk`` heuristics: levels whose per-worker share is at most
+#: ``_REBALANCE_PER_WORKER`` tasks use single-task chunks (best load
+#: re-balancing when task counts are skewed); larger levels batch tasks
+#: but never more than ``_CHUNK_CAP`` per batch, so a worker that drew a
+#: run of expensive groups can still hand work back to the pool.
+_REBALANCE_PER_WORKER = 4
+_CHUNK_CAP = 128
 
 
 def _set_task_context(context: Any) -> None:
-    """Install the level context in this process (pool initializer)."""
-    global _TASK_CONTEXT
-    _TASK_CONTEXT = context
+    """Install the level context in this thread (and, via the pool
+    initializer or a broadcast, in worker processes)."""
+    _TLS.context = context
 
 
 def get_task_context() -> Any:
     """The level context installed for the currently running tasks."""
-    return _TASK_CONTEXT
+    return getattr(_TLS, "context", None)
 
 
 class MiningExecutor:
@@ -56,9 +115,12 @@ class MiningExecutor:
     and yield the outcomes *in task order*.  The returned iterable must be
     consumed before the next ``map_tasks`` call (the miner does): the task
     context is per-process state, not per-call.
+
+    Executors are context managers; backends that own worker pools release
+    them in :meth:`close` (a no-op for poolless backends).
     """
 
-    #: Name of the backend ("serial" / "parallel").
+    #: Name of the backend ("serial" / "parallel" / "threads").
     name = "abstract"
 
     def map_tasks(
@@ -66,6 +128,23 @@ class MiningExecutor:
     ) -> Iterable[Any]:
         """Run ``fn`` over ``tasks``; outcomes keep the task order."""
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources; safe to call twice (default: no-op)."""
+
+    def release_context(self) -> None:
+        """Drop any task context still held by idle workers (default: no-op).
+
+        Called at the end of a job that *keeps* the executor alive (the
+        pool-reuse path), so a large level context does not stay pinned
+        in every worker while the pool idles between jobs.
+        """
+
+    def __enter__(self) -> "MiningExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class SerialExecutor(MiningExecutor):
@@ -100,20 +179,69 @@ class SerialExecutor(MiningExecutor):
         return _run()
 
 
+# ---------------------------------------------------------------------------
+# Worker-side plumbing of the persistent process pool
+# ---------------------------------------------------------------------------
+
+#: Barrier shared by the workers of one persistent pool (installed by the
+#: pool initializer); coordinates the per-call context broadcasts.
+_WORKER_BARRIER = None
+
+
+def _init_worker(barrier) -> None:
+    """Pool initializer of a persistent pool: remember the broadcast
+    barrier (the context itself arrives later, per ``map_tasks`` call)."""
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+
+
+def _receive_context(blob: bytes) -> bool:
+    """One worker's share of a context broadcast.
+
+    The parent submits exactly ``max_workers`` of these per ``map_tasks``
+    call.  Each worker that picked one up blocks on the barrier until
+    every worker holds a context, which guarantees no worker receives two
+    broadcasts (it cannot finish before the last worker started) and no
+    worker runs a task against a stale context.
+    """
+    _set_task_context(pickle.loads(blob))
+    _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT)
+    return True
+
+
+def _release_pool(pool) -> None:
+    """Finalizer payload: shut a pool down without blocking GC/exit."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class ParallelExecutor(MiningExecutor):
-    """Process-pool execution with chunked batching.
+    """Process-pool execution with a reusable pool and chunked batching.
 
     Parameters
     ----------
     max_workers:
         Worker processes (default: ``os.cpu_count()``).
     chunk_size:
-        Tasks per inter-process batch; ``None`` picks ``ceil(n / (4 *
-        workers))`` so each worker sees a handful of batches (amortizing
-        the pickling) while load stays balanced.
+        Tasks per inter-process batch; ``None`` picks an adaptive size:
+        single-task chunks while a worker's share is small (skewed levels
+        re-balance instead of serializing behind one big chunk), then
+        ``ceil(n / (4 * workers))`` capped at 128 so every worker sees a
+        handful of batches and stragglers can shed load.
     min_tasks:
-        Levels with fewer tasks than this run serially in-process -- a
-        pool spawn costs more than mining a near-empty level.
+        Levels with fewer tasks than this run serially in-process -- even
+        a reused pool costs a context broadcast, which a near-empty level
+        never amortizes.  Must be >= 1.
+    reuse_pool:
+        ``True``: one lazily-spawned pool serves every ``map_tasks`` call
+        until :meth:`close`; each call broadcasts its context (pickled
+        once, unpickled once per worker).  ``False``: a fresh pool per
+        call, context shipped via the pool initializer (free under
+        ``fork`` -- copy-on-write).  ``None`` (default) picks ``True``
+        exactly when the effective start method is not ``fork``, i.e.
+        whenever pool spawns actually cost interpreter boots.
+    start_method:
+        Multiprocessing start method (``"fork"`` / ``"spawn"`` /
+        ``"forkserver"``); ``None`` uses the platform default.
     """
 
     name = EXECUTOR_PARALLEL
@@ -123,19 +251,101 @@ class ParallelExecutor(MiningExecutor):
         max_workers: int | None = None,
         chunk_size: int | None = None,
         min_tasks: int = 2,
+        reuse_pool: bool | None = None,
+        start_method: str | None = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        if min_tasks < 1:
+            raise ConfigError(
+                f"min_tasks must be >= 1, got {min_tasks} (1 disables the "
+                "serial fallback for small levels)"
+            )
+        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigError(
+                f"unknown start method {start_method!r}; this platform "
+                f"supports {multiprocessing.get_all_start_methods()}"
+            )
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
         self.min_tasks = min_tasks
+        self.start_method = start_method
+        if reuse_pool is None:
+            reuse_pool = self._effective_start_method() != "fork"
+        self.reuse_pool = reuse_pool
+        self._pool: ProcessPoolExecutor | None = None
+        self._finalizer = None
+
+    def _effective_start_method(self) -> str:
+        return self.start_method or multiprocessing.get_start_method()
+
+    def _mp_context(self):
+        return multiprocessing.get_context(self.start_method)
 
     def _chunk(self, n_tasks: int) -> int:
         if self.chunk_size is not None:
             return self.chunk_size
-        return max(1, -(-n_tasks // (4 * self.max_workers)))
+        per_worker = -(-n_tasks // self.max_workers)
+        if per_worker <= _REBALANCE_PER_WORKER:
+            return 1
+        return max(1, min(-(-n_tasks // (4 * self.max_workers)), _CHUNK_CAP))
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent pool, spawning it on first use."""
+        if self._pool is None:
+            context = self._mp_context()
+            barrier = context.Barrier(self.max_workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(barrier,),
+            )
+            # Safety net: release the workers at GC / interpreter exit
+            # even if the owner forgot to close().
+            self._finalizer = weakref.finalize(self, _release_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent; respawns lazily)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def release_context(self) -> None:
+        """Broadcast an empty context so idle workers pin no mining state."""
+        if self._pool is None:
+            return
+        try:
+            self._broadcast(self._pool, None)
+        except Exception:
+            # A pool that cannot even take a broadcast is broken; release
+            # it so the next job starts clean.
+            self.close()
+
+    def _broadcast(self, pool: ProcessPoolExecutor, context: Any) -> None:
+        """Install ``context`` in every worker of the persistent pool.
+
+        The context is pickled once here; each worker unpickles its own
+        copy.  Submitting ``max_workers`` barrier-synchronized receive
+        tasks also forces the lazily-spawning pool to bring every worker
+        up, so the subsequent chunked map never waits on a cold start.
+        """
+        blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+        futures = [
+            pool.submit(_receive_context, blob) for _ in range(self.max_workers)
+        ]
+        for future in futures:
+            future.result()
+
+    # -- dispatch -------------------------------------------------------
 
     def map_tasks(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any], context: Any
@@ -144,18 +354,101 @@ class ParallelExecutor(MiningExecutor):
 
         ``ProcessPoolExecutor.map`` already yields results in submission
         order, which is what makes the parallel mining result byte-identical
-        to the serial one.  The context lives in the *workers* (pool
-        initializer) and dies with the pool; the parent process buffers
-        only the outcomes.
+        to the serial one.  The context lives in the *workers* (broadcast,
+        or pool initializer in per-call mode) and is replaced by the next
+        call's broadcast; the parent process buffers only the outcomes.
         """
         if len(tasks) < self.min_tasks or self.max_workers == 1:
             return SerialExecutor().map_tasks(fn, tasks, context)
-        with ProcessPoolExecutor(
-            max_workers=min(self.max_workers, len(tasks)),
-            initializer=_set_task_context,
-            initargs=(context,),
-        ) as pool:
+        if not self.reuse_pool:
+            with ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(tasks)),
+                mp_context=self._mp_context(),
+                initializer=_set_task_context,
+                initargs=(context,),
+            ) as pool:
+                return list(pool.map(fn, tasks, chunksize=self._chunk(len(tasks))))
+        pool = self._ensure_pool()
+        try:
+            self._broadcast(pool, context)
             return list(pool.map(fn, tasks, chunksize=self._chunk(len(tasks))))
+        except Exception:
+            # A broken pool (dead worker, broken barrier) cannot be
+            # reused; release it so the next call starts clean.
+            self.close()
+            raise
+
+
+class ThreadExecutor(MiningExecutor):
+    """Thread-pool execution with a reusable pool and zero-copy contexts.
+
+    The worker threads share the caller's address space, so the level
+    context is installed by reference -- no pickling, no broadcast --
+    which makes this the cheapest backend for small-context levels.  The
+    context is installed into each worker thread's *thread-local* slot
+    around every task, so tasks that nest a serial miner (the
+    hierarchical level tasks) stay isolated from their neighbors.  Note
+    that pure-Python group mining is still serialized by the GIL; the
+    backend pays off when tasks release it or when avoiding process
+    spawn/IPC is the point.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker threads (default: ``os.cpu_count()``).
+    min_tasks:
+        Levels with fewer tasks than this run serially in-process.
+    """
+
+    name = EXECUTOR_THREADS
+
+    def __init__(self, max_workers: int | None = None, min_tasks: int = 2):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        if min_tasks < 1:
+            raise ConfigError(
+                f"min_tasks must be >= 1, got {min_tasks} (1 disables the "
+                "serial fallback for small levels)"
+            )
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.min_tasks = min_tasks
+        self._pool: ThreadPoolExecutor | None = None
+        self._finalizer = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-mine"
+            )
+            self._finalizer = weakref.finalize(self, _release_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent; respawns lazily)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], context: Any
+    ) -> Iterable[Any]:
+        """Fan the tasks out over worker threads, preserving order."""
+        if len(tasks) < self.min_tasks or self.max_workers == 1:
+            return SerialExecutor().map_tasks(fn, tasks, context)
+        pool = self._ensure_pool()
+
+        def run(task: Any) -> Any:
+            previous = get_task_context()
+            _set_task_context(context)
+            try:
+                return fn(task)
+            finally:
+                _set_task_context(previous)
+
+        return list(pool.map(run, tasks))
 
 
 #: Process-wide default backend (see :func:`set_default_executor`).
@@ -167,20 +460,63 @@ def resolve_executor(
 ) -> MiningExecutor:
     """Turn an executor spec (instance, name, or ``None``) into an instance.
 
-    ``None`` resolves to the process-wide default; ``n_workers`` only
-    applies when a *name* is resolved (instances keep their own settings).
+    ``None`` resolves to the process-wide default; ``n_workers`` sizes the
+    pool when a *name* is resolved.  Explicitly combining an instance with
+    ``n_workers`` is rejected: the instance already fixed its pool size,
+    and silently ignoring the request would mine with the wrong width.
+    (When the instance only arrives via the process-wide *default*,
+    ``n_workers`` is ignored instead -- the caller never chose it, and a
+    harness-installed shared pool must keep serving jobs that merely
+    carry a worker-count preference.)
     """
+    explicit = spec is not None
     if spec is None:
         spec = _DEFAULT_EXECUTOR
     if isinstance(spec, MiningExecutor):
+        if n_workers is not None and explicit:
+            raise ConfigError(
+                f"n_workers={n_workers} conflicts with the provided "
+                f"{type(spec).__name__} instance (its pool size is fixed at "
+                "construction); size the instance instead, or pass the "
+                "backend by name"
+            )
         return spec
     if spec == EXECUTOR_SERIAL:
         return SerialExecutor()
     if spec == EXECUTOR_PARALLEL:
         return ParallelExecutor(max_workers=n_workers)
+    if spec == EXECUTOR_THREADS:
+        return ThreadExecutor(max_workers=n_workers)
     raise ConfigError(
         f"unknown executor {spec!r}; choose from {EXECUTOR_BACKENDS}"
     )
+
+
+@contextmanager
+def executor_scope(
+    spec: MiningExecutor | str | None, n_workers: int | None = None
+) -> Iterator[MiningExecutor]:
+    """Resolve an executor spec for one job, owning what it creates.
+
+    Engine entry points (:class:`~repro.core.stpm.ESTPM`,
+    :class:`~repro.multigrain.engine.HierarchicalMiner`, ...) run their
+    dispatches inside this scope: a backend resolved from a *name* (or
+    from a name-valued process default) is closed when the job finishes,
+    so per-job pools never outlive the job; an *instance* -- the pool-reuse
+    path -- stays alive for the caller's next job, but its workers drop the
+    finished job's task context (:meth:`MiningExecutor.release_context`)
+    so no mining state stays pinned while the pool idles.
+    """
+    effective = _DEFAULT_EXECUTOR if spec is None else spec
+    owned = not isinstance(effective, MiningExecutor)
+    runner = resolve_executor(spec, n_workers)
+    try:
+        yield runner
+    finally:
+        if owned:
+            runner.close()
+        else:
+            runner.release_context()
 
 
 def default_executor() -> MiningExecutor | str:
@@ -193,7 +529,10 @@ def set_default_executor(spec: MiningExecutor | str) -> MiningExecutor | str:
 
     Like :func:`repro.core.supportset.set_default_backend`, this lets the
     harness flip whole experiment runs between backends without threading
-    a parameter through every experiment function.
+    a parameter through every experiment function.  Installing an executor
+    *instance* shares its (persistent) pool across every job that resolves
+    the default -- the harness's pool-reuse mode; the caller keeps
+    ownership and closes it when the run ends.
     """
     global _DEFAULT_EXECUTOR
     previous = _DEFAULT_EXECUTOR

@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from itertools import combinations, combinations_with_replacement, product
 
 from repro.core.config import MiningParams
-from repro.core.executor import MiningExecutor, get_task_context, resolve_executor
+from repro.core.executor import MiningExecutor, executor_scope, get_task_context
 from repro.core.hlh import HLH1, Assignment, HLHk
 from repro.core.pattern import (
     TemporalPattern,
@@ -351,29 +351,38 @@ class ESTPM:
 
     def mine(self) -> MiningResult:
         """Run the full mining process and return all frequent seasonal
-        patterns of length 1..max_pattern_length."""
+        patterns of length 1..max_pattern_length.
+
+        One executor serves every HLH level of the job: with a pool-backed
+        backend the workers spawned for level 2 are reused by levels 3..k.
+        A backend resolved here from a *name* is closed when the job
+        finishes; a caller-provided instance keeps its pool alive for the
+        caller's next job (see :func:`~repro.core.executor.executor_scope`).
+        """
         started = time.perf_counter()
         backend = validate_backend(self.support_backend or default_backend())
-        runner = resolve_executor(self.executor, self.n_workers)
         stats = MiningStats(n_granules=len(self.dseq))
         patterns: list[SeasonalPattern] = []
 
-        hlh1 = self._mine_single_events(backend, patterns, stats)
-        levels: dict[int, HLHk] = {}
-        if self.params.max_pattern_length >= 2:
-            hlh2 = self._mine_two_event_patterns(hlh1, runner, backend, patterns, stats)
-            levels[2] = hlh2
-            candidate_triples = frozenset(p.triples[0] for p in hlh2.phk)
-            previous = hlh2
-            k = 3
-            while k <= self.params.max_pattern_length and previous.phk:
-                current = self._mine_k_event_patterns(
-                    hlh1, previous, candidate_triples, k, runner, backend,
-                    patterns, stats,
+        with executor_scope(self.executor, self.n_workers) as runner:
+            hlh1 = self._mine_single_events(backend, patterns, stats)
+            levels: dict[int, HLHk] = {}
+            if self.params.max_pattern_length >= 2:
+                hlh2 = self._mine_two_event_patterns(
+                    hlh1, runner, backend, patterns, stats
                 )
-                levels[k] = current
-                previous = current
-                k += 1
+                levels[2] = hlh2
+                candidate_triples = frozenset(p.triples[0] for p in hlh2.phk)
+                previous = hlh2
+                k = 3
+                while k <= self.params.max_pattern_length and previous.phk:
+                    current = self._mine_k_event_patterns(
+                        hlh1, previous, candidate_triples, k, runner, backend,
+                        patterns, stats,
+                    )
+                    levels[k] = current
+                    previous = current
+                    k += 1
 
         stats.mining_seconds = time.perf_counter() - started
         return MiningResult(patterns=patterns, stats=stats)

@@ -22,10 +22,13 @@ Subcommands
 
 Engine selection
 ----------------
-Every mining subcommand accepts ``--executor serial|parallel`` (with
-``--workers N`` for the pool size) and ``--support-backend bitset|list``
-to pick the execution backend and the physical support-set
-representation.  All combinations return identical pattern sets.
+Every mining subcommand accepts ``--executor serial|parallel|threads``
+(with ``--workers N`` for the pool size) and ``--support-backend
+bitset|list`` to pick the execution backend and the physical support-set
+representation.  ``--keep-pool`` keeps one persistent worker pool alive
+for the whole command, so multi-level and multi-experiment runs reuse the
+same workers instead of spawning a pool per mining level.  All
+combinations return identical pattern sets.
 """
 
 from __future__ import annotations
@@ -34,7 +37,14 @@ import argparse
 import sys
 
 from repro.core.approximate import ASTPM
-from repro.core.executor import EXECUTOR_BACKENDS, EXECUTOR_PARALLEL, ParallelExecutor
+from repro.core.executor import (
+    EXECUTOR_BACKENDS,
+    EXECUTOR_PARALLEL,
+    EXECUTOR_THREADS,
+    MiningExecutor,
+    ParallelExecutor,
+    ThreadExecutor,
+)
 from repro.core.query import PatternQuery
 from repro.core.stpm import ESTPM
 from repro.core.supportset import SUPPORT_BACKENDS
@@ -66,13 +76,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "--executor",
             default=None,
             choices=sorted(EXECUTOR_BACKENDS),
-            help="execution backend for the per-group mining work",
+            help="execution backend for the per-group mining work: serial "
+            "(in-process), parallel (process pool), or threads (thread "
+            "pool, zero-copy contexts for small levels)",
         )
         command_parser.add_argument(
             "--workers",
             type=int,
             default=None,
-            help="worker processes for --executor parallel (default: all cores)",
+            help="worker processes/threads for --executor parallel|threads "
+            "(default: all cores)",
+        )
+        command_parser.add_argument(
+            "--keep-pool",
+            action="store_true",
+            help="keep one persistent worker pool alive for the whole "
+            "command (reused across mining levels, hierarchy jobs, and "
+            "experiments instead of spawning a pool per level)",
         )
         command_parser.add_argument(
             "--support-backend",
@@ -208,15 +228,47 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _executor_spec(args):
-    """The executor spec of parsed engine flags (honoring ``--workers``).
+    """The executor spec of parsed engine flags.
 
-    An explicit invalid worker count (e.g. ``--workers 0``) must reach
-    :class:`ParallelExecutor` and be rejected there, not be silently
-    reinterpreted as "all cores".
+    ``--workers`` / ``--keep-pool`` turn the backend name into a sized
+    instance, so an explicit invalid worker count (e.g. ``--workers 0``)
+    reaches the executor constructor and is rejected there, not silently
+    reinterpreted as "all cores".  With ``--keep-pool`` the instance runs
+    one persistent, reused pool for the whole command (closed by
+    :func:`_close_executor` before the process exits).
     """
-    if args.executor == EXECUTOR_PARALLEL and args.workers is not None:
-        return ParallelExecutor(max_workers=args.workers)
+    keep_pool = getattr(args, "keep_pool", False)
+    if args.executor == EXECUTOR_PARALLEL and (args.workers is not None or keep_pool):
+        return ParallelExecutor(
+            max_workers=args.workers, reuse_pool=True if keep_pool else None
+        )
+    if args.executor == EXECUTOR_THREADS and (args.workers is not None or keep_pool):
+        # A ThreadExecutor instance is inherently a kept pool: the scope
+        # machinery closes name-resolved backends per job but leaves
+        # instances open for the whole command.
+        return ThreadExecutor(max_workers=args.workers)
+    if keep_pool:
+        print(
+            "warning: --keep-pool has no effect without "
+            "--executor parallel|threads",
+            file=sys.stderr,
+        )
     return args.executor
+
+
+def _engine_settings(args):
+    """``(executor_spec, n_workers)`` with the worker count folded into
+    the spec whenever an instance was built (an instance plus a separate
+    ``n_workers`` is a conflict the engine rejects)."""
+    spec = _executor_spec(args)
+    n_workers = None if isinstance(spec, MiningExecutor) else args.workers
+    return spec, n_workers
+
+
+def _close_executor(spec) -> None:
+    """Release the pool of a CLI-built executor instance (no-op for names)."""
+    if isinstance(spec, MiningExecutor):
+        spec.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -231,18 +283,26 @@ def main(argv: list[str] | None = None) -> int:
         print("Profiles:", ", ".join(sorted(PROFILES)))
         return 0
     if args.command == "run":
-        with engine_defaults(_executor_spec(args), args.support_backend):
-            for artifact_id in args.ids:
-                print(run_experiment(artifact_id, profile=args.profile).render())
-                print()
+        spec = _executor_spec(args)
+        try:
+            with engine_defaults(spec, args.support_backend):
+                for artifact_id in args.ids:
+                    print(run_experiment(artifact_id, profile=args.profile).render())
+                    print()
+        finally:
+            _close_executor(spec)
         return 0
     if args.command == "all":
-        run_all(
-            profile=args.profile,
-            executor=_executor_spec(args),
-            support_backend=args.support_backend,
-            measure_memory=not args.no_memory,
-        )
+        spec = _executor_spec(args)
+        try:
+            run_all(
+                profile=args.profile,
+                executor=spec,
+                support_backend=args.support_backend,
+                measure_memory=not args.no_memory,
+            )
+        finally:
+            _close_executor(spec)
         return 0
     if args.command == "mine":
         dataset = load_dataset(args.dataset, args.profile)
@@ -251,17 +311,21 @@ def main(argv: list[str] | None = None) -> int:
             min_density_pct=args.min_density_pct,
             min_season=args.min_season,
         )
+        spec, n_workers = _engine_settings(args)
         engine = dict(
             support_backend=args.support_backend,
-            executor=args.executor,
-            n_workers=args.workers,
+            executor=spec,
+            n_workers=n_workers,
         )
-        if args.approximate:
-            result = ASTPM(
-                dataset.dsyb, dataset.ratio, params, dseq=dataset.dseq(), **engine
-            ).mine()
-        else:
-            result = ESTPM(dataset.dseq(), params, **engine).mine()
+        try:
+            if args.approximate:
+                result = ASTPM(
+                    dataset.dsyb, dataset.ratio, params, dseq=dataset.dseq(), **engine
+                ).mine()
+            else:
+                result = ESTPM(dataset.dseq(), params, **engine).mine()
+        finally:
+            _close_executor(spec)
         print(
             f"{len(result)} frequent seasonal patterns on {args.dataset} "
             f"({args.profile}) in {result.stats.mining_seconds:.2f}s"
@@ -290,6 +354,7 @@ def _run_multigrain(args) -> int:
         dataset.dist_interval[0] * dataset.ratio,
         dataset.dist_interval[1] * dataset.ratio,
     )
+    spec, n_workers = _engine_settings(args)
     miner = HierarchicalMiner(
         dataset.dsyb,
         ratios=ratios,
@@ -300,10 +365,13 @@ def _run_multigrain(args) -> int:
         miner=MINER_APPROXIMATE if args.approximate else MINER_EXACT,
         strategy=args.strategy,
         support_backend=args.support_backend,
-        executor=_executor_spec(args),
-        n_workers=args.workers,
+        executor=spec,
+        n_workers=n_workers,
     )
-    result = miner.mine()
+    try:
+        result = miner.mine()
+    finally:
+        _close_executor(spec)
     print(
         f"hierarchical {'A-STPM' if args.approximate else 'E-STPM'} on "
         f"{args.dataset} ({args.profile}): {len(result)} levels in "

@@ -8,19 +8,22 @@ seconds on a laptop; the paper's full grids can be requested through the
 keyword overrides.
 
 The *shape* each experiment must reproduce (vs the paper) is documented in
-DESIGN.md section 7 and checked into EXPERIMENTS.md.
+DESIGN.md section 8 and checked into EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable
 
 from repro.baselines.apsgrowth import APSGrowth
 from repro.core.approximate import ASTPM
 from repro.core.config import MiningParams
+from repro.core.executor import MiningExecutor, resolve_executor, set_default_executor
 from repro.core.prune import ALL_VARIANTS
 from repro.core.results import MiningResult
 from repro.core.stpm import ESTPM
+from repro.core.supportset import set_default_backend
 from repro.datasets.dataset import Dataset
 from repro.datasets.registry import DATASET_BUILDERS, PROFILES, load_dataset
 from repro.datasets.scaling import scale_series
@@ -37,6 +40,45 @@ MIN_SEASONS = (4, 6, 8)  # paper: 4, 8, 12, 16, 20
 MIN_DENSITY_PCTS = (0.5, 0.75, 1.0)  # paper: 0.5 .. 1.5
 MAX_PERIOD_PCTS = (0.2, 0.4, 0.6)  # paper: 0.2 .. 1.0
 DEFAULTS = {"min_season": 6, "min_density_pct": 0.75, "max_period_pct": 0.4}
+
+
+@contextmanager
+def engine_defaults(
+    executor: MiningExecutor | str | None = None,
+    support_backend: str | None = None,
+):
+    """Temporarily set the process-wide mining engine defaults.
+
+    The experiment functions build their miners internally, so the harness
+    selects the execution backend (``serial`` / ``parallel`` / ``threads``)
+    and the support-set representation (``bitset`` / ``list``) through the
+    process-wide defaults rather than threading two extra parameters
+    through every experiment signature.  Restores the previous defaults
+    on exit.
+
+    An ``executor`` given by *name* is resolved here to a single instance
+    installed for the whole scope, so a pool-backed backend reuses one
+    worker pool across every experiment of the run; the scope owns that
+    instance and closes it on exit.  An executor *instance* is installed
+    as-is and left open -- the caller decides when its pool dies.
+    """
+    previous_executor = previous_backend = None
+    owned: MiningExecutor | None = None
+    try:
+        if executor is not None:
+            if not isinstance(executor, MiningExecutor):
+                executor = owned = resolve_executor(executor)
+            previous_executor = set_default_executor(executor)
+        if support_backend is not None:
+            previous_backend = set_default_backend(support_backend)
+        yield
+    finally:
+        if previous_executor is not None:
+            set_default_executor(previous_executor)
+        if previous_backend is not None:
+            set_default_backend(previous_backend)
+        if owned is not None:
+            owned.close()
 
 
 def _params(dataset: Dataset, **overrides) -> MiningParams:
@@ -661,11 +703,26 @@ EXPERIMENTS: dict[str, Callable] = {
 }
 
 
-def run_experiment(artifact_id: str, profile: str = "bench", **overrides):
-    """Run one experiment by its paper artifact id."""
+def run_experiment(
+    artifact_id: str,
+    profile: str = "bench",
+    executor: MiningExecutor | str | None = None,
+    support_backend: str | None = None,
+    **overrides,
+):
+    """Run one experiment by its paper artifact id.
+
+    ``executor`` / ``support_backend`` select the mining engine backends
+    for this experiment via :func:`engine_defaults` (an executor resolved
+    from a name is closed when the experiment finishes; an instance's
+    pool is left alive for the caller's next experiment).
+    """
     key = artifact_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {artifact_id!r}; choose from {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[key](profile=profile, **overrides)
+    if executor is None and support_backend is None:
+        return EXPERIMENTS[key](profile=profile, **overrides)
+    with engine_defaults(executor, support_backend):
+        return EXPERIMENTS[key](profile=profile, **overrides)

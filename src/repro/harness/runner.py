@@ -4,42 +4,18 @@ from __future__ import annotations
 
 import sys
 import time
-from contextlib import contextmanager
 from typing import Iterable, TextIO
 
-from repro.core.executor import MiningExecutor, set_default_executor
-from repro.core.supportset import set_default_backend
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.core.executor import MiningExecutor
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    engine_defaults,
+    run_experiment,
+)
 from repro.harness.tables import Table
 from repro.metrics.memory import measure_peak_memory
 
-
-@contextmanager
-def engine_defaults(
-    executor: MiningExecutor | str | None = None,
-    support_backend: str | None = None,
-):
-    """Temporarily set the process-wide mining engine defaults.
-
-    The experiment functions build their miners internally, so the harness
-    selects the execution backend (``serial`` / ``parallel``) and the
-    support-set representation (``bitset`` / ``list``) through the
-    process-wide defaults rather than threading two extra parameters
-    through every experiment signature.  Restores the previous defaults
-    on exit.
-    """
-    previous_executor = previous_backend = None
-    try:
-        if executor is not None:
-            previous_executor = set_default_executor(executor)
-        if support_backend is not None:
-            previous_backend = set_default_backend(support_backend)
-        yield
-    finally:
-        if previous_executor is not None:
-            set_default_executor(previous_executor)
-        if previous_backend is not None:
-            set_default_backend(previous_backend)
+__all__ = ["engine_defaults", "run_all"]
 
 
 def run_all(

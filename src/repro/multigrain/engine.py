@@ -37,8 +37,8 @@ from repro.core.config import MiningParams
 from repro.core.executor import (
     MiningExecutor,
     SerialExecutor,
+    executor_scope,
     get_task_context,
-    resolve_executor,
 )
 from repro.core.prune import PruningConfig
 from repro.core.stpm import ESTPM
@@ -372,9 +372,14 @@ class HierarchicalMiner:
         return jobs
 
     def mine(self) -> MultiGranularityResult:
-        """Mine every level and align the results across the hierarchy."""
+        """Mine every level and align the results across the hierarchy.
+
+        The executor dispatches the level tasks of this hierarchy; a
+        pool-backed *instance* passed by the caller keeps its workers
+        alive across consecutive hierarchies (pool reuse), while a backend
+        resolved from a name lives exactly as long as this job.
+        """
         backend = validate_backend(self.support_backend or default_backend())
-        runner = resolve_executor(self.executor, self.n_workers)
         jobs = self._build_jobs(backend)
         context = HierarchicalContext(
             jobs=tuple(jobs),
@@ -384,7 +389,8 @@ class HierarchicalMiner:
             event_level=self.event_level,
             support_backend=backend,
         )
-        levels = list(
-            runner.map_tasks(mine_level_task, list(range(len(jobs))), context)
-        )
+        with executor_scope(self.executor, self.n_workers) as runner:
+            levels = list(
+                runner.map_tasks(mine_level_task, list(range(len(jobs))), context)
+            )
         return MultiGranularityResult(levels=levels)

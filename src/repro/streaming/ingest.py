@@ -60,6 +60,32 @@ def quantile_thresholds(values, alphabet: Alphabet) -> ThresholdMapper:
     return ThresholdMapper(breakpoints, alphabet)
 
 
+def _frozen_fit(name: str, values, alphabet: Alphabet) -> ThresholdMapper:
+    """Fit frozen breakpoints for one series, rejecting degenerate windows.
+
+    A constant (or single-value) fitting window yields all-equal
+    breakpoints, which would silently bin every future value of the
+    stream into at most two of the alphabet's symbols -- forever, since
+    frozen breakpoints never re-fit.  Rolling mode tolerates such windows
+    (the next refit heals them); frozen mode must refuse them.
+    """
+    mapper = quantile_thresholds(values, alphabet)
+    breakpoints = mapper.breakpoints
+    data = np.asarray(values, dtype=float)
+    constant_window = bool(data.size) and float(data.min()) == float(data.max())
+    collapsed = len(breakpoints) >= 2 and len(set(breakpoints)) == 1
+    if breakpoints and (constant_window or collapsed):
+        raise SymbolizationError(
+            f"degenerate fitting window for series {name!r}: the "
+            f"{data.size}-value window yields all-equal quantile "
+            f"breakpoints at {breakpoints[0]!r}, so frozen breakpoints "
+            "would bin every future value into at most two of the "
+            f"{len(alphabet)} symbols; widen the fitting window, use "
+            "rolling mode, or supply a pre-fitted mapper"
+        )
+    return mapper
+
+
 class StreamingSymbolizer:
     """Online mapping function ``f: X -> Sigma_X`` over a stream.
 
@@ -113,8 +139,8 @@ class StreamingSymbolizer:
         symbolizer = cls(alphabets, mode=mode)
         if mode == MODE_FROZEN:
             for name, values in window.items():
-                symbolizer.mappers[name] = quantile_thresholds(
-                    values, symbolizer._alphabet_of(name)
+                symbolizer.mappers[name] = _frozen_fit(
+                    name, values, symbolizer._alphabet_of(name)
                 )
         return symbolizer
 
@@ -130,12 +156,30 @@ class StreamingSymbolizer:
         """Symbolize newly arrived raw values, per series.
 
         Returns the new symbols per series, ready for
-        :meth:`StreamingDatabase.append_symbols`.
+        :meth:`StreamingDatabase.append_symbols`.  A rejected push --
+        unknown series, or a degenerate frozen fitting window (see
+        :func:`_frozen_fit`) -- mutates nothing: no series' history or
+        mapper changes, so the caller can correct the batch and re-push
+        all of it without duplicating instants.
         """
-        out: dict[str, tuple[str, ...]] = {}
+        # Validate everything (series names, frozen first-push fits)
+        # before committing anything, so a multi-series push is atomic.
+        blocks: dict[str, tuple[Alphabet, list[float]]] = {}
         for name, block in values.items():
             alphabet = self._alphabet_of(name)
-            block_list = [float(v) for v in np.asarray(block, dtype=float)]
+            blocks[name] = (
+                alphabet, [float(v) for v in np.asarray(block, dtype=float)]
+            )
+        fitted: dict[str, SymbolMapper] = {}
+        if self.mode == MODE_FROZEN:
+            for name, (alphabet, block_list) in blocks.items():
+                if block_list and name not in self.mappers:
+                    # First push of this series is its fitting window;
+                    # degenerate (constant) windows are rejected so the
+                    # frozen breakpoints cannot collapse the alphabet.
+                    fitted[name] = _frozen_fit(name, block_list, alphabet)
+        out: dict[str, tuple[str, ...]] = {}
+        for name, (alphabet, block_list) in blocks.items():
             if not block_list:
                 out[name] = ()
                 continue
@@ -145,10 +189,7 @@ class StreamingSymbolizer:
             else:
                 mapper = self.mappers.get(name)
                 if mapper is None:
-                    # First push of this series is its fitting window.
-                    mapper = self.mappers[name] = quantile_thresholds(
-                        block_list, alphabet
-                    )
+                    mapper = self.mappers[name] = fitted[name]
             encoded = mapper.encode(TimeSeries(name, tuple(block_list)))
             out[name] = encoded.symbols
         return out
@@ -201,6 +242,46 @@ class StreamingDatabase:
         """Series names, in registration order."""
         return list(self.symbols)
 
+    def register_alphabets(
+        self,
+        alphabets: dict[str, Alphabet],
+        ignore_unknown: bool = False,
+    ) -> None:
+        """Register symbol alphabets so pushes are validated.
+
+        This closes the lazy-seeding hole where a stream seeded by its
+        first :meth:`append_symbols` call carried no alphabets and skipped
+        symbol validation forever.  Registration never changes the series
+        set: before it is fixed, alphabets are simply recorded and apply
+        to whichever of their series the seeding push introduces.  On an
+        already seeded stream, unknown series are rejected (or skipped
+        with ``ignore_unknown=True`` -- the symbolizer-inheritance path,
+        where an alphabet for a series this stream never carries is
+        irrelevant), a conflicting re-registration raises, and any
+        buffered symbols are validated retroactively.
+        """
+        seeded = bool(self.symbols)
+        for name, alphabet in alphabets.items():
+            if seeded and name not in self.symbols:
+                if ignore_unknown:
+                    continue
+                raise SymbolizationError(
+                    f"unknown series {name!r}; the stream is fixed to {self.names}"
+                )
+            existing = self.alphabets.get(name)
+            if existing is not None and existing != alphabet:
+                raise SymbolizationError(
+                    f"conflicting alphabet for series {name!r}: "
+                    f"{tuple(existing)} already registered, got {tuple(alphabet)}"
+                )
+            for symbol in self.symbols.get(name, ()):
+                if symbol not in alphabet:
+                    raise SymbolizationError(
+                        f"buffered symbol {symbol!r} of series {name!r} "
+                        f"outside the newly registered alphabet {tuple(alphabet)}"
+                    )
+            self.alphabets[name] = alphabet
+
     def pending_instants(self) -> int:
         """Instants of the slowest series not yet materialized."""
         if not self.symbols:
@@ -208,20 +289,37 @@ class StreamingDatabase:
         return min(len(s) for s in self.symbols.values()) - self._consumed
 
     def append_symbols(
-        self, symbols: dict[str, Sequence[str] | str]
+        self,
+        symbols: dict[str, Sequence[str] | str],
+        alphabets: dict[str, Alphabet] | None = None,
     ) -> list[TemporalSequence]:
         """Buffer new symbols and materialize every complete granule.
 
-        The first call fixes the series set; later calls may cover any
-        subset of it.  Returns the newly appended temporal sequences (the
-        batch a miner advance consumes).
+        The first call fixes the series set (to *its own* keys; a partial
+        ``alphabets`` mapping never narrows it); later calls may cover any
+        subset of it.  ``alphabets`` registers symbol alphabets on the fly
+        (see :meth:`register_alphabets`) -- pass it with the seeding call
+        so a stream seeded by its first push validates symbols exactly
+        like one constructed with alphabets.  Returns the newly appended
+        temporal sequences (the batch a miner advance consumes).
         """
+        if alphabets:
+            self.register_alphabets(alphabets)
         if not self.symbols:
             if not symbols:
                 raise SymbolizationError("cannot seed a streaming DSEQ with no series")
             for name in symbols:
                 self.symbols[name] = []
             self.dseq.source_names = list(self.symbols)
+            # The series set is now fixed: alphabets recorded for series
+            # the stream does not carry can never apply (and would seed a
+            # wider, stalling series set on checkpoint restore), so drop
+            # them.
+            self.alphabets = {
+                name: alphabet
+                for name, alphabet in self.alphabets.items()
+                if name in self.symbols
+            }
         for name, block in symbols.items():
             buffer = self.symbols.get(name)
             if buffer is None:

@@ -48,6 +48,16 @@ class StreamingMiningService:
     ):
         self.database = database
         self.symbolizer = symbolizer
+        if symbolizer is not None:
+            # Inherit the symbolizer's alphabets so a database that was
+            # constructed without any (and would otherwise be lazily
+            # seeded by its first push, skipping symbol validation)
+            # validates every pushed symbol.  Registration never touches
+            # the series set -- the first push still fixes it, so a stream
+            # carrying only a subset of the symbolizer's series keeps
+            # forming granules -- and alphabets for series this stream
+            # does not carry are irrelevant and skipped.
+            database.register_alphabets(symbolizer.alphabets, ignore_unknown=True)
         self.miner = IncrementalSTPM(
             database.dseq,
             params,

@@ -4,22 +4,33 @@ The headline guarantee: a :class:`MiningResult` is *identical* -- same
 patterns, same supports, same season views, same order, same counters --
 whichever executor and support representation ran the mining.  The parity
 tests assert it on the paper's running example and on every seed dataset.
+
+The lifecycle guarantee of the persistent runtime: one pool serves many
+``map_tasks`` calls and many jobs (same worker processes throughout),
+``close()`` releases it and leaves no task context behind, and a closed
+executor respawns lazily on next use.
 """
+
+import os
 
 import pytest
 
 from repro.core.executor import (
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
     default_executor,
+    executor_scope,
     get_task_context,
     resolve_executor,
     set_default_executor,
 )
+from repro.core.results import results_equivalent
 from repro.core.stpm import ESTPM
 from repro.core.approximate import ASTPM
 from repro.datasets import load_dataset
 from repro.exceptions import ConfigError
+from repro.multigrain import HierarchicalMiner
 
 
 def _double(task):
@@ -30,6 +41,16 @@ def _double(task):
 def _read_context(task):
     """Return the installed task context plus the task."""
     return (get_task_context(), task)
+
+
+def _worker_pid(task):
+    """The PID of the worker that ran the task (pool-identity probe)."""
+    return os.getpid()
+
+
+def _context_identity(task):
+    """id() of the installed context (zero-copy probe, threads only)."""
+    return id(get_task_context())
 
 
 def _result_key(result):
@@ -95,21 +116,57 @@ class TestExecutors:
             ParallelExecutor(max_workers=0)
         with pytest.raises(ConfigError):
             ParallelExecutor(chunk_size=0)
+        with pytest.raises(ConfigError):
+            ParallelExecutor(min_tasks=0)
+        with pytest.raises(ConfigError):
+            ParallelExecutor(min_tasks=-3)
+        with pytest.raises(ConfigError):
+            ParallelExecutor(start_method="gpu")
+
+    def test_threads_rejects_bad_settings(self):
+        with pytest.raises(ConfigError):
+            ThreadExecutor(max_workers=0)
+        with pytest.raises(ConfigError):
+            ThreadExecutor(min_tasks=0)
 
     def test_chunk_heuristic(self):
         executor = ParallelExecutor(max_workers=2)
         assert executor._chunk(8) == 1
         assert executor._chunk(800) == 100
         assert ParallelExecutor(max_workers=2, chunk_size=5)._chunk(800) == 5
+        # Skewed small levels re-balance with single-task chunks; huge
+        # levels cap the chunk so stragglers can shed load.
+        assert executor._chunk(7) == 1
+        assert executor._chunk(4000) == 128
 
     def test_resolve_specs(self):
         assert isinstance(resolve_executor("serial"), SerialExecutor)
         assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        assert isinstance(resolve_executor("threads"), ThreadExecutor)
         assert resolve_executor("parallel", n_workers=3).max_workers == 3
+        assert resolve_executor("threads", n_workers=3).max_workers == 3
         instance = SerialExecutor()
         assert resolve_executor(instance) is instance
         with pytest.raises(ConfigError):
             resolve_executor("gpu")
+
+    def test_resolve_rejects_instance_plus_workers(self):
+        # Silently ignoring n_workers would mine with the wrong pool size.
+        with pytest.raises(ConfigError):
+            resolve_executor(ParallelExecutor(max_workers=2), n_workers=4)
+        with pytest.raises(ConfigError):
+            resolve_executor(SerialExecutor(), n_workers=2)
+
+    def test_default_instance_tolerates_worker_preference(self):
+        # Only an *explicit* instance conflicts with n_workers: a job that
+        # merely carries a worker-count preference must still run on a
+        # harness-installed shared default pool.
+        executor = SerialExecutor()
+        previous = set_default_executor(executor)
+        try:
+            assert resolve_executor(None, n_workers=4) is executor
+        finally:
+            set_default_executor(previous)
 
     def test_default_executor_switch(self):
         previous = set_default_executor("parallel")
@@ -119,6 +176,135 @@ class TestExecutors:
         finally:
             set_default_executor(previous)
         assert isinstance(resolve_executor(None), SerialExecutor)
+
+
+class TestExecutorLifecycle:
+    """The persistent runtime: one pool, many calls and jobs; clean close."""
+
+    def test_pool_reused_across_map_tasks_calls(self):
+        with ParallelExecutor(max_workers=2, min_tasks=1, reuse_pool=True) as executor:
+            first = set(executor.map_tasks(_worker_pid, range(8), None))
+            pool = executor._pool
+            assert pool is not None  # spawned lazily on first use
+            second = set(executor.map_tasks(_worker_pid, range(8), "other-ctx"))
+            third = set(executor.map_tasks(_worker_pid, range(8), None))
+            assert executor._pool is pool  # same pool object...
+            # ...and the same worker processes: were a pool spawned per
+            # call, three calls would have shown up to six distinct PIDs.
+            assert len(first | second | third) <= 2
+            assert os.getpid() not in first  # genuinely out-of-process
+
+    def test_broadcast_replaces_worker_context(self):
+        with ParallelExecutor(max_workers=2, min_tasks=1, reuse_pool=True) as executor:
+            first = executor.map_tasks(_read_context, [0], {"level": 1})
+            second = executor.map_tasks(_read_context, [0], {"level": 2})
+            assert list(first) == [({"level": 1}, 0)]
+            assert list(second) == [({"level": 2}, 0)]
+
+    def test_close_releases_pool_and_leaves_no_context(self):
+        executor = ParallelExecutor(max_workers=2, min_tasks=1, reuse_pool=True)
+        assert list(executor.map_tasks(_double, [1, 2], {"big": "ctx"})) == [2, 4]
+        executor.close()
+        assert executor._pool is None
+        assert get_task_context() is None  # no context leak between jobs
+        executor.close()  # idempotent
+        # A closed executor respawns lazily on its next use.
+        assert list(executor.map_tasks(_double, [3, 4], None)) == [6, 8]
+        executor.close()
+
+    def test_release_context_clears_worker_state(self):
+        with ParallelExecutor(max_workers=2, min_tasks=1, reuse_pool=True) as executor:
+            list(executor.map_tasks(_double, [1, 2], {"big": "ctx"}))
+            pool = executor._pool
+            executor.release_context()
+            assert executor._pool is pool  # pool survives, context does not
+            futures = [pool.submit(_read_context, 0) for _ in range(2)]
+            assert all(f.result()[0] is None for f in futures)
+
+    def test_threads_pool_reused_and_context_zero_copy(self):
+        sentinel = {"level": "ctx"}
+        with ThreadExecutor(max_workers=2, min_tasks=1) as executor:
+            identities = set(
+                executor.map_tasks(_context_identity, range(8), sentinel)
+            )
+            assert identities == {id(sentinel)}  # shared by reference
+            pool = executor._pool
+            assert pool is not None
+            executor.map_tasks(_double, range(4), None)
+            assert executor._pool is pool
+        assert executor._pool is None
+        assert get_task_context() is None
+
+    def test_executor_scope_owns_name_resolved_backends(self):
+        with executor_scope("threads", n_workers=2) as runner:
+            assert isinstance(runner, ThreadExecutor)
+            assert list(runner.map_tasks(_double, [1, 2, 3], None)) == [2, 4, 6]
+            assert runner._pool is not None
+        assert runner._pool is None  # the scope owned and closed it
+
+    def test_executor_scope_leaves_instances_open(self):
+        executor = ThreadExecutor(max_workers=2, min_tasks=1)
+        try:
+            with executor_scope(executor) as runner:
+                assert runner is executor
+                runner.map_tasks(_double, [1, 2], None)
+            assert executor._pool is not None  # caller owns the pool
+        finally:
+            executor.close()
+
+    def test_engine_defaults_owns_named_executor(self, monkeypatch):
+        from repro.harness.runner import engine_defaults
+
+        # A name resolved on a single-core host would pin max_workers=1
+        # and never spawn a pool; pretend we have two cores so the
+        # ownership (spawn here, close on scope exit) is observable.
+        monkeypatch.setattr("repro.core.executor.os.cpu_count", lambda: 2)
+        with engine_defaults(executor="threads"):
+            installed = default_executor()
+            assert isinstance(installed, ThreadExecutor)
+            list(installed.map_tasks(_double, [1, 2, 3], None))
+            assert installed._pool is not None
+        assert default_executor() == "serial"
+        assert installed._pool is None  # harness closed the run's pool
+
+
+class TestPoolReuseParity:
+    """One persistent pool across whole jobs stays equivalent to serial."""
+
+    @pytest.mark.parametrize("name", ["RE", "SC", "INF", "HFM"])
+    def test_seed_dataset_jobs_share_one_pool(self, shared_pool, name):
+        dataset = load_dataset(name, "tiny")
+        params = dataset.params(
+            max_period_pct=0.4, min_density_pct=0.75, min_season=4
+        )
+        dseq = dataset.dseq()
+        serial = ESTPM(dseq, params).mine()
+        assert serial.patterns, f"parity run on {name} mined nothing"
+        pooled = ESTPM(dseq, params, executor=shared_pool).mine()
+        assert results_equivalent(serial, pooled)
+        assert shared_pool._pool is not None  # the job did not close it
+
+    def test_hierarchical_job_shares_the_pool(self, shared_pool):
+        dataset = load_dataset("INF", "tiny")
+        settings = dict(
+            ratios=[dataset.ratio, dataset.ratio * 2], min_season=4
+        )
+        serial = HierarchicalMiner(dataset.dsyb, **settings).mine()
+        pooled = HierarchicalMiner(
+            dataset.dsyb, executor=shared_pool, **settings
+        ).mine()
+        assert [level.ratio for level in serial.levels] == [
+            level.ratio for level in pooled.levels
+        ]
+        for mine, theirs in zip(serial.levels, pooled.levels):
+            assert results_equivalent(mine.result, theirs.result)
+
+
+@pytest.fixture(scope="class")
+def shared_pool():
+    """One persistent parallel executor shared by a whole test class."""
+    with ParallelExecutor(max_workers=2, min_tasks=1, reuse_pool=True) as executor:
+        yield executor
 
 
 class TestMiningParity:
@@ -142,6 +328,10 @@ class TestMiningParity:
         assert baseline.patterns, f"parity run on {name} mined nothing"
         parallel = ESTPM(dseq, params, executor="parallel").mine()
         assert _result_key(baseline) == _result_key(parallel)
+        threaded = ESTPM(
+            dseq, params, executor=ThreadExecutor(max_workers=2, min_tasks=1)
+        ).mine()
+        assert _result_key(baseline) == _result_key(threaded)
         list_backend = ESTPM(dseq, params, support_backend="list").mine()
         assert _result_key(baseline) == _result_key(list_backend)
 

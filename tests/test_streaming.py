@@ -81,6 +81,75 @@ class TestStreamingDatabase:
         with pytest.raises(SymbolizationError):
             StreamingDatabase(0)
 
+    def test_lazy_seed_with_alphabets_validates(self):
+        # Regression: a stream seeded by its first push used to register
+        # the series set but no alphabets, silently skipping symbol
+        # validation forever.
+        database = StreamingDatabase(2)
+        database.append_symbols({"W": "01"}, alphabets={"W": Alphabet.binary()})
+        with pytest.raises(SymbolizationError):
+            database.append_symbols({"W": "2"})
+
+    def test_lazy_seed_rejects_bad_symbols_immediately(self):
+        database = StreamingDatabase(2)
+        with pytest.raises(SymbolizationError):
+            database.append_symbols({"W": "02"}, alphabets={"W": Alphabet.binary()})
+
+    def test_register_alphabets_validates_buffered_history(self):
+        database = StreamingDatabase(2)
+        database.append_symbols({"W": "012"})  # lazily seeded, unvalidated
+        with pytest.raises(SymbolizationError):
+            database.register_alphabets({"W": Alphabet.binary()})
+
+    def test_register_alphabets_rejects_conflicts_and_unknowns(self):
+        database = StreamingDatabase(2, {"W": Alphabet.binary()})
+        with pytest.raises(SymbolizationError):
+            database.register_alphabets({"W": Alphabet.levels(("L", "H"))})
+        with pytest.raises(SymbolizationError):
+            database.register_alphabets({"X": Alphabet.binary()})
+        # The inheritance path skips irrelevant series instead of raising.
+        database.register_alphabets({"X": Alphabet.binary()}, ignore_unknown=True)
+        assert "X" not in database.alphabets
+
+    def test_service_inherits_symbolizer_alphabets(self):
+        # A database constructed without alphabets (lazy seeding) inherits
+        # them from the service's symbolizer, so pushed symbols validate.
+        database = StreamingDatabase(2)
+        service = StreamingMiningService(
+            database, PARAMS, symbolizer=StreamingSymbolizer(_alphabets())
+        )
+        assert set(database.alphabets) == {"T", "W"}
+        assert database.names == []  # the first push still fixes the set
+        with pytest.raises(SymbolizationError):
+            service.push_symbols({"W": "2"})
+
+    def test_service_subset_stream_still_forms_granules(self):
+        # Inheriting alphabets must not widen the series set: a stream
+        # carrying only one of the symbolizer's series keeps forming
+        # granules instead of waiting forever on the absent one.
+        database = StreamingDatabase(2)
+        service = StreamingMiningService(
+            database, PARAMS, symbolizer=StreamingSymbolizer(_alphabets())
+        )
+        service.push_symbols({"T": "LMLM"})
+        assert database.names == ["T"]
+        assert len(database.dseq) == 2
+        # The fixed series set also prunes unusable alphabets, so a
+        # checkpoint restore re-seeds exactly this stream.
+        assert set(database.alphabets) == {"T"}
+        with pytest.raises(SymbolizationError):
+            service.push_symbols({"T": "X"})
+
+    def test_partial_alphabets_do_not_narrow_the_seeded_series(self):
+        database = StreamingDatabase(2)
+        database.append_symbols(
+            {"T": "LL", "W": "01"}, alphabets={"W": Alphabet.binary()}
+        )
+        assert database.names == ["T", "W"]
+        with pytest.raises(SymbolizationError):
+            database.append_symbols({"W": "2"})  # registered: validated
+        database.append_symbols({"T": "XY"})  # unregistered: unvalidated
+
     def test_append_row_position_validated(self, paper_dseq):
         with pytest.raises(TransformError):
             paper_dseq.append_row(paper_dseq.rows[0])
@@ -128,6 +197,51 @@ class TestStreamingSymbolizer:
         symbolizer = StreamingSymbolizer({"T": Alphabet.binary()})
         with pytest.raises(SymbolizationError):
             symbolizer.push({"X": [1.0]})
+
+    def test_frozen_constant_first_push_rejected(self):
+        # Regression: a constant (or single-value) fitting window froze
+        # all-equal breakpoints, silently binning every future value into
+        # one symbol for the stream's whole lifetime.
+        symbolizer = StreamingSymbolizer({"T": Alphabet.levels(("L", "M", "H"))})
+        with pytest.raises(SymbolizationError, match="degenerate fitting window"):
+            symbolizer.push({"T": [5.0] * 8})
+        with pytest.raises(SymbolizationError, match="degenerate fitting window"):
+            symbolizer.push({"T": [2.0]})
+        # The rejected window left no trace: a proper window still fits.
+        assert symbolizer.history["T"] == []
+        assert symbolizer.push({"T": [0.0, 1.0, 2.0]})["T"] == ("L", "M", "H")
+
+    def test_rejected_multi_series_push_is_atomic(self):
+        # A degenerate window in ONE series must not commit the others:
+        # the caller re-pushes the whole corrected batch, which would
+        # otherwise duplicate the committed series' instants.
+        symbolizer = StreamingSymbolizer(_alphabets())
+        with pytest.raises(SymbolizationError, match="degenerate fitting window"):
+            symbolizer.push({"T": [0.0, 1.0, 2.0], "W": [5.0, 5.0]})
+        assert symbolizer.history["T"] == []
+        assert "T" not in symbolizer.mappers
+        out = symbolizer.push({"T": [0.0, 1.0, 2.0], "W": [0.0, 1.0]})
+        assert out["T"] == ("L", "M", "H")
+        assert symbolizer.history["T"] == [0.0, 1.0, 2.0]
+
+    def test_frozen_fit_on_constant_window_rejected(self):
+        with pytest.raises(SymbolizationError, match="degenerate fitting window"):
+            StreamingSymbolizer.fit(
+                {"T": [3.0, 3.0, 3.0, 3.0]}, {"T": Alphabet.binary()}
+            )
+
+    def test_rolling_constant_first_push_tolerated(self):
+        # Rolling mode refits on every push, so an early constant window
+        # heals itself once varied values arrive.
+        symbolizer = StreamingSymbolizer({"T": Alphabet.binary()}, mode="rolling")
+        symbolizer.push({"T": [5.0, 5.0]})
+        assert symbolizer.push({"T": [0.0, 10.0]})["T"] == ("0", "1")
+
+    def test_single_symbol_alphabet_is_not_degenerate(self):
+        # One symbol means zero breakpoints: a constant window is the
+        # expected shape, not a degenerate fit.
+        symbolizer = StreamingSymbolizer({"T": Alphabet(("x",))})
+        assert symbolizer.push({"T": [1.0, 1.0]})["T"] == ("x", "x")
 
 
 class TestIncrementalSTPM:
