@@ -1,0 +1,112 @@
+"""Bench EXT5 (extension): columnar sweep-join kernels vs reference loops.
+
+The step-2.2 instance enumeration (pair products + the Iterative Check
+of Sec. IV-D 4.2.2) is the paper's dominant cost on dense data -- it is
+where the FIG 7/8 runtime and the FIG 11-14 scalability sweeps spend
+their time.  The columnar instance index replaces the object-at-a-time
+``relation_of_pair`` product with a two-pointer sweep over start-sorted
+start/end columns (bulk Follows tails skipped without classification),
+index-keyed verdict rows for the extension kernel, flyweight-interned
+patterns, and compact column-index assignments.
+
+Workload: granules dense enough that every event has many instances per
+granule (large sequence-mapping ratio over rapidly alternating series),
+which is exactly where the pre-index kernels drown in per-pair Python
+object work.  Two regimes:
+
+* ``pairs``  -- ``max_pattern_length=2``: pure pair sweep (the k = 2
+  kernel);
+* ``growth`` -- ``max_pattern_length=3``: pair sweep + the extension
+  kernel's verdict rows (the full pattern-growth path).
+
+Expected shape: the sweep kernels are >= 2x faster on the recorded
+dense workload; CI asserts a conservative >= 1.3x floor.  Both kernels
+must produce ``results_equivalent`` output (also pinned by
+tests/test_instance_index.py and the hypothesis property suite).
+"""
+
+import random
+import time
+
+import pytest
+from _shared import run_once
+
+from repro import ESTPM, MiningParams, SymbolicDatabase, build_sequence_database
+from repro.core.results import results_equivalent
+
+MIN_SPEEDUP = 1.3
+
+#: (series, instants, mapping ratio, max_pattern_length) per regime.
+REGIMES = {
+    "pairs": dict(n_series=6, n_instants=4800, ratio=48, max_len=2),
+    "growth": dict(n_series=4, n_instants=3600, ratio=48, max_len=3),
+}
+
+
+def _dense_dseq(n_series: int, n_instants: int, ratio: int):
+    """A deterministic dense-granule DSEQ: short alternating runs, so
+    every (event, granule) column holds many instances."""
+    rng = random.Random(20230419)
+    rows = {}
+    for index in range(n_series):
+        symbols: list[str] = []
+        while len(symbols) < n_instants:
+            symbols.extend(rng.choice("01") * rng.randint(1, 3))
+        rows[f"S{index}"] = "".join(symbols[:n_instants])
+    return build_sequence_database(SymbolicDatabase.from_rows(rows), ratio)
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+def test_sweep_kernel_speedup(benchmark, record_artifact, regime):
+    spec = REGIMES[regime]
+    dseq = _dense_dseq(spec["n_series"], spec["n_instants"], spec["ratio"])
+    params = MiningParams(
+        max_period=4,
+        min_density=2,
+        dist_interval=(0, 20),
+        min_season=3,
+        max_pattern_length=spec["max_len"],
+    )
+
+    def measure():
+        # Warm both paths once (column caches are per-job, but imports,
+        # allocator state, and branch caches warm up).
+        ESTPM(dseq.prefix(10), params).mine()
+        ESTPM(dseq.prefix(10), params, kernel="reference").mine()
+        started = time.perf_counter()
+        sweep = ESTPM(dseq, params).mine()
+        sweep_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        reference = ESTPM(dseq, params, kernel="reference").mine()
+        reference_seconds = time.perf_counter() - started
+        assert results_equivalent(sweep, reference), (
+            "sweep kernels diverged from the reference kernels"
+        )
+        return sweep, sweep_seconds, reference_seconds
+
+    sweep, sweep_seconds, reference_seconds = run_once(benchmark, measure)
+    speedup = reference_seconds / sweep_seconds
+    n_columns = len(dseq) * len(dseq.event_support())
+    record_artifact(
+        f"EXT5-kernel-{regime}",
+        "\n".join(
+            [
+                f"EXT5 -- columnar sweep-join kernels vs pre-index reference "
+                f"loops ({regime} regime)",
+                f"  granules                : {len(dseq):8d} "
+                f"(ratio {dseq.ratio}, {len(dseq.event_support())} events)",
+                f"  event instances         : {dseq.total_instances():8d} "
+                f"(~{dseq.total_instances() / n_columns:.1f} per column)",
+                f"  max pattern length      : {params.max_pattern_length:8d}",
+                f"  frequent patterns       : {len(sweep):8d}",
+                f"  sweep kernels           : {sweep_seconds * 1000:10.1f} ms",
+                f"  reference kernels       : {reference_seconds * 1000:10.1f} ms",
+                f"  sweep speedup           : {speedup:10.1f}x",
+                "  results are results_equivalent across kernels",
+            ]
+        ),
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"sweep kernels must be >= {MIN_SPEEDUP}x faster than the reference "
+        f"kernels on the dense {regime} workload, got {speedup:.2f}x"
+    )

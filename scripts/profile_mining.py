@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Profile one harness experiment and print the hottest functions.
+
+The perf-PR starting point: run a paper experiment under cProfile and
+see where the time actually goes before touching any kernel.
+
+Examples
+--------
+    python scripts/profile_mining.py F7
+    python scripts/profile_mining.py T9 --profile tiny -n 40
+    python scripts/profile_mining.py F11 --sort tottime --executor serial
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "artifact_id",
+        help=f"experiment to profile; one of {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--profile",
+        default="bench",
+        choices=("full", "bench", "tiny"),
+        help="dataset profile (default: bench)",
+    )
+    parser.add_argument(
+        "-n",
+        "--top",
+        type=int,
+        default=25,
+        help="number of functions to print (default: 25)",
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"),
+        help="pstats sort key (default: cumulative)",
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=(None, "serial", "parallel", "threads"),
+        help="mining executor backend (default: engine default; note that "
+        "work dispatched to pool workers is invisible to the parent's "
+        "profile -- use serial to see the kernels)",
+    )
+    parser.add_argument(
+        "--support-backend",
+        default=None,
+        choices=(None, "bitset", "list"),
+        help="support-set representation (default: engine default)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also dump raw pstats data to this file (for snakeviz etc.)",
+    )
+    args = parser.parse_args(argv)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(
+        args.artifact_id,
+        profile=args.profile,
+        executor=args.executor,
+        support_backend=args.support_backend,
+    )
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    if args.output is not None:
+        stats.dump_stats(args.output)
+        print(f"raw profile written to {args.output}", file=sys.stderr)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -149,8 +149,9 @@ class ASTPM:
     Accepts the symbolic database plus the sequence-mapping ratio so the MI
     screening runs on DSYB (one scan, as the paper notes) while the mining
     runs on DSEQ.  A pre-built DSEQ can be supplied to avoid re-transforming
-    in benchmarks.  ``support_backend`` / ``executor`` / ``n_workers`` are
-    forwarded to the inner :class:`~repro.core.stpm.ESTPM` engine.
+    in benchmarks.  ``support_backend`` / ``executor`` / ``n_workers`` /
+    ``kernel`` are forwarded to the inner :class:`~repro.core.stpm.ESTPM`
+    engine.
     """
 
     dsyb: SymbolicDatabase
@@ -162,6 +163,7 @@ class ASTPM:
     support_backend: str | None = None
     executor: "MiningExecutor | str | None" = None
     n_workers: int | None = None
+    kernel: str | None = None
 
     def mine(self) -> MiningResult:
         """Run MI screening, then the restricted exact mining.
@@ -192,6 +194,7 @@ class ASTPM:
                 event_filter=event_filter,
                 support_backend=self.support_backend,
                 executor=runner,
+                kernel=self.kernel,
             )
             result = miner.mine()
         result.stats.mi_seconds = report.mi_seconds

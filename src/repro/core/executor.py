@@ -6,7 +6,13 @@ parallel: groups of the same level never interact, only the finished level
 feeds the next one.  :mod:`repro.core.stpm` therefore expresses each level
 as a list of *group tasks* -- pure, picklable ``(task) -> outcome``
 calls against a read-only :class:`~repro.core.stpm.LevelContext` -- and
-hands the list to an executor:
+hands the list to an executor.  Payloads crossing the pool boundary are
+deliberately compact: the broadcast context ships raw HLH tables (each
+worker rebuilds its own per-process instance columns and flyweight
+caches lazily, see :mod:`repro.core.instance_index`), and the
+:class:`~repro.core.stpm.GroupOutcome` results carry assignments in the
+column-index encoding -- small int tuples instead of repeated event
+instances:
 
 * :class:`SerialExecutor` runs the tasks in order in-process (the default;
   zero overhead, exactly the classical single-threaded miner);
@@ -69,6 +75,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.core.instance_index import clear_intern_caches
 from repro.exceptions import ConfigError
 
 #: Executor names accepted wherever a backend can be chosen.
@@ -203,8 +210,16 @@ def _receive_context(blob: bytes) -> bool:
     every worker holds a context, which guarantees no worker receives two
     broadcasts (it cannot finish before the last worker started) and no
     worker runs a task against a stale context.
+
+    A ``None`` context is the end-of-job release broadcast: besides
+    dropping the level context, the worker also clears its flyweight
+    pattern/triple caches so an idle kept pool pins no mining state at
+    all (see :func:`repro.core.instance_index.clear_intern_caches`).
     """
-    _set_task_context(pickle.loads(blob))
+    context = pickle.loads(blob)
+    _set_task_context(context)
+    if context is None:
+        clear_intern_caches()
     _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT)
     return True
 
@@ -506,6 +521,14 @@ def executor_scope(
     path -- stays alive for the caller's next job, but its workers drop the
     finished job's task context (:meth:`MiningExecutor.release_context`)
     so no mining state stays pinned while the pool idles.
+
+    The scope exit also clears this process's flyweight pattern/triple
+    caches (:func:`repro.core.instance_index.clear_intern_caches`): a
+    live job's interned objects are all referenced by its HLH structures
+    and results anyway, so the caches only *pin* patterns of finished
+    jobs -- exactly what a job-scoped clear releases.  (Nested scopes --
+    A-STPM around its inner E-STPM, hierarchical level jobs -- just
+    re-intern at two dict probes per distinct pattern.)
     """
     effective = _DEFAULT_EXECUTOR if spec is None else spec
     owned = not isinstance(effective, MiningExecutor)
@@ -517,6 +540,7 @@ def executor_scope(
             runner.close()
         else:
             runner.release_context()
+        clear_intern_caches()
 
 
 def default_executor() -> MiningExecutor | str:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.instance_index import EMPTY_COLUMN, InstanceColumn, decode_assignment
 from repro.core.pattern import TemporalPattern
 from repro.core.supportset import SupportLike
 from repro.events.event import EventInstance
@@ -43,6 +44,12 @@ class HLH1:
     eh: dict[str, SupportLike] = field(default_factory=dict)
     gh: dict[str, dict[int, list[EventInstance]]] = field(default_factory=dict)
     _candidates: list[str] | None = field(default=None, repr=False, compare=False)
+    #: Lazily built columnar instance tables per (event, granule) -- the
+    #: step-2.2 kernels' view of GH.  Never pickled: worker processes
+    #: rebuild their own columns from the broadcast ``gh`` tables.
+    _columns: dict[str, dict[int, InstanceColumn]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add_event(
         self,
@@ -54,6 +61,7 @@ class HLH1:
         self.eh[event] = support
         self.gh[event] = instances_by_granule
         self._candidates = None
+        self._columns.pop(event, None)
 
     def support_of(self, event: str) -> SupportLike:
         """Support set of a candidate event (``SUP_E``)."""
@@ -62,6 +70,34 @@ class HLH1:
     def instances_of(self, event: str, granule: int) -> list[EventInstance]:
         """Instances of ``event`` at ``granule``."""
         return self.gh[event].get(granule, [])
+
+    def column_of(self, event: str, granule: int) -> InstanceColumn:
+        """The start-sorted instance column of ``(event, granule)``.
+
+        Built on first access and cached for the life of the structure
+        (GH's per-granule instance lists are write-once: the batch miner
+        fills them before step 2.2, the streaming miner only adds *new*
+        granule keys).  Missing granules share :data:`EMPTY_COLUMN`.
+        """
+        per_event = self._columns.get(event)
+        if per_event is None:
+            per_event = self._columns[event] = {}
+        column = per_event.get(granule)
+        if column is None:
+            instances = self.gh.get(event, {}).get(granule)
+            column = InstanceColumn.from_instances(instances) if instances else EMPTY_COLUMN
+            per_event[granule] = column
+        return column
+
+    def __getstate__(self):
+        """Pickle only the hash tables; caches are per-process state."""
+        return {"eh": self.eh, "gh": self.gh}
+
+    def __setstate__(self, state) -> None:
+        self.eh = state["eh"]
+        self.gh = state["gh"]
+        self._candidates = None
+        self._columns = {}
 
     @property
     def candidates(self) -> list[str]:
@@ -77,9 +113,17 @@ class HLH1:
         return event in self.eh
 
 
-#: One realizing assignment of a pattern: its instances, chronologically
-#: ordered -- what GHk stores per granule.
-Assignment = tuple[EventInstance, ...]
+#: One realizing assignment of a pattern, chronologically ordered -- what
+#: GHk stores per granule.  Under the sweep kernels (the default) this is
+#: the *compact encoding*: a tuple of column indices parallel to the
+#: pattern's ``events`` (``assignment[i]`` indexes the instance of
+#: ``pattern.events[i]`` in its ``(event, granule)`` column -- see
+#: :mod:`repro.core.instance_index`).  Under the reference kernels it is
+#: the classical tuple of :class:`EventInstance` objects.  A mining job
+#: runs entirely on one kernel, so the two encodings never mix within a
+#: structure; :meth:`HLHk.decoded_assignments_of` rematerializes
+#: instance tuples from the compact form.
+Assignment = tuple[EventInstance, ...] | tuple[int, ...]
 
 
 @dataclass
@@ -141,8 +185,23 @@ class HLHk:
         return self.phk[pattern]
 
     def assignments_of(self, pattern: TemporalPattern, granule: int) -> list[Assignment]:
-        """Realizing instance tuples of ``pattern`` at ``granule``."""
+        """Realizing assignments of ``pattern`` at ``granule`` (encoded)."""
         return self.ghk[pattern].get(granule, [])
+
+    def decoded_assignments_of(
+        self, pattern: TemporalPattern, granule: int, hlh1: HLH1
+    ) -> list[tuple[EventInstance, ...]]:
+        """Realizing *instance tuples* of ``pattern`` at ``granule``.
+
+        Decodes the compact column-index assignments of the sweep
+        kernels through ``hlh1``'s instance columns -- the reporting /
+        inspection view of GHk.
+        """
+        events = pattern.events
+        return [
+            decode_assignment(hlh1, events, granule, encoded)
+            for encoded in self.assignments_of(pattern, granule)
+        ]
 
     @property
     def groups(self) -> list[tuple[str, ...]]:

@@ -39,13 +39,18 @@ class Triple(NamedTuple):
         return f"{self.first} {RELATION_SYMBOLS[self.relation]} {self.second}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TemporalPattern:
     """An n-event temporal pattern: events in chronological order + triples.
 
     ``events`` is the chronologically ordered event tuple ``(E_1..E_k)``;
     ``triples`` holds the relation triples for every index pair ``i < j`` in
     ``combinations`` order.  Both tuples together are the hashable identity.
+
+    The mining kernels flyweight-intern patterns (one object per distinct
+    identity per process, see
+    :func:`repro.core.instance_index.intern_pattern`); ``slots`` keeps
+    the per-object footprint to the two tuples.
     """
 
     events: tuple[str, ...]

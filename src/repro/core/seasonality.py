@@ -33,7 +33,9 @@ all of the paper's examples) this is exactly the paper's definition.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.config import MiningParams
 from repro.core.supportset import SupportLike, as_positions
@@ -49,25 +51,31 @@ def is_candidate(support_size: int, params: MiningParams) -> bool:
     return max_season(support_size, params.min_density) >= params.min_season
 
 
+def _iter_near_sets(support, max_period: int) -> Iterator[list[int]]:
+    """Stream the maximal near support sets one at a time.
+
+    The single source of truth for the Def. 3.13 split (gap <=
+    maxPeriod); only the current set is materialized, so counting
+    callers never hold the full decomposition.
+    """
+    current: list[int] = []
+    for position in support:
+        if current and position - current[-1] > max_period:
+            yield current
+            current = [position]
+        else:
+            current.append(position)
+    if current:
+        yield current
+
+
 def split_near_support_sets(support: SupportLike, max_period: int) -> list[list[int]]:
     """Maximal near support sets: split where the period exceeds maxPeriod.
 
     ``support`` may be a plain sorted position list or any
     :class:`~repro.core.supportset.SupportSet` representation.
     """
-    support = as_positions(support)
-    if not support:
-        return []
-    sets: list[list[int]] = []
-    current = [support[0]]
-    for position in support[1:]:
-        if position - current[-1] <= max_period:
-            current.append(position)
-        else:
-            sets.append(current)
-            current = [position]
-    sets.append(current)
-    return sets
+    return list(_iter_near_sets(as_positions(support), max_period))
 
 
 def season_distance(season_i: list[int], season_j: list[int]) -> int:
@@ -162,11 +170,58 @@ def compute_seasons(support: SupportLike, params: MiningParams) -> SeasonView:
     )
 
 
-def count_seasons(support: SupportLike, params: MiningParams) -> int:
-    """``seasons(P)`` without materializing the full view."""
-    return compute_seasons(support, params).n_seasons
+def count_seasons(
+    support: SupportLike, params: MiningParams, stop_at: int | None = None
+) -> int:
+    """``seasons(P)`` without materializing a :class:`SeasonView`.
+
+    Streams the chain construction of :func:`_chain_seasons` over the
+    near sets one at a time -- no view tuples, no list of chains, just
+    the running chain length and the best seen.  With ``stop_at`` the
+    walk returns as soon as the current chain reaches that many seasons
+    (chains only grow until a ``dist_max`` break, so any prefix reaching
+    ``stop_at`` proves ``seasons(P) >= stop_at``) -- the early exit the
+    frequency gate of Def. 3.15 needs.
+
+    Equivalent to ``compute_seasons(support, params).n_seasons`` when
+    ``stop_at`` is ``None`` (pinned by the regression and property
+    tests); with ``stop_at`` the result is only guaranteed on the
+    ``>= stop_at`` side of the comparison.
+    """
+    support = as_positions(support)
+    dist_min = params.dist_min
+    dist_max = params.dist_max
+    min_density = params.min_density
+    best = 0
+    current = 0
+    last_end = 0
+    for near_set in _iter_near_sets(support, params.max_period):
+        start_index = 0
+        if current:
+            # Trim leading granules that sit closer than dist_min to the
+            # end of the last season (the H9 rule).
+            start_index = bisect_left(near_set, last_end + dist_min)
+            if start_index == len(near_set):
+                continue
+            if near_set[start_index] - last_end > dist_max:
+                # Chain broken by a too-long gap; start fresh from the
+                # untrimmed set.
+                if current > best:
+                    best = current
+                current = 0
+                start_index = 0
+        if len(near_set) - start_index >= min_density:
+            current += 1
+            last_end = near_set[-1]
+            if stop_at is not None and current >= stop_at:
+                return current
+    return best if best > current else current
 
 
 def is_frequent_seasonal(support: SupportLike, params: MiningParams) -> bool:
-    """Def. 3.15 check: at least ``min_season`` chained seasons."""
-    return count_seasons(support, params) >= params.min_season
+    """Def. 3.15 check: at least ``min_season`` chained seasons.
+
+    Uses the early-exit chain counter: the walk stops at the first
+    ``min_season`` chained seasons and allocates no season views.
+    """
+    return count_seasons(support, params, stop_at=params.min_season) >= params.min_season

@@ -76,6 +76,39 @@ def order_pair(
     return first, second
 
 
+def relation_of_bounds(
+    start_i: int,
+    end_i: int,
+    start_j: int,
+    end_j: int,
+    epsilon: int,
+    min_overlap: int,
+) -> str | None:
+    """Relation of an *ordered* pair of inclusive interval bounds.
+
+    The scalar core of Table III, phrased directly on the inclusive
+    ``[start, end]`` granule bounds (the half-open ``+1`` of the interval
+    arithmetic is folded into the comparisons).  The sweep-join kernels
+    of :mod:`repro.core.stpm` inline exactly these comparisons on their
+    instance columns; this function is the single place their semantics
+    are written down (and property-tested against
+    :func:`relation_between`).
+    """
+    if start_i <= start_j and end_j <= end_i + epsilon:
+        return CONTAINS
+    if start_j >= end_i + 1 - epsilon:
+        return FOLLOWS
+    # Overlap length is (end_i + 1) - start_j, > 0 here since the
+    # Follows test above failed.
+    if (
+        start_i < start_j
+        and end_i + epsilon < end_j
+        and end_i + 1 - start_j >= min_overlap - epsilon
+    ):
+        return OVERLAPS
+    return None
+
+
 def relation_between(
     earlier: EventInstance,
     later: EventInstance,
@@ -88,17 +121,14 @@ def relation_between(
     :data:`CONTAINS`, :data:`OVERLAPS`, or ``None`` when the pair overlaps
     for less than ``do`` without containment.
     """
-    eps = config.epsilon
-    start_i, end_i = earlier.start, earlier.end + 1  # half-open
-    start_j, end_j = later.start, later.end + 1
-    if start_i <= start_j and end_j <= end_i + eps:
-        return CONTAINS
-    if start_j >= end_i - eps:
-        return FOLLOWS
-    overlap = end_i - start_j  # > 0 here, since start_j < end_i - eps
-    if start_i < start_j and end_i + eps < end_j and overlap >= config.min_overlap - eps:
-        return OVERLAPS
-    return None
+    return relation_of_bounds(
+        earlier.start,
+        earlier.end,
+        later.start,
+        later.end,
+        config.epsilon,
+        config.min_overlap,
+    )
 
 
 def relation_of_pair(

@@ -23,7 +23,9 @@ Parity guarantee
 Candidacy gates are monotone under appends and the per-granule
 enumeration is shared verbatim with the batch miner
 (:func:`~repro.core.stpm.collect_pair_patterns` /
-:func:`~repro.core.stpm.extend_group_patterns`), so after any prefix the
+:func:`~repro.core.stpm.extend_group_patterns`, i.e. the columnar
+sweep-join kernels -- the maintained assignments use the same compact
+column-index encoding), so after any prefix the
 maintained state matches what batch E-STPM (full pruning, the default)
 builds on that prefix.  :meth:`IncrementalSTPM.result` therefore returns
 a :class:`~repro.core.results.MiningResult` equivalent to the batch

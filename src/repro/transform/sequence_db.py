@@ -93,7 +93,14 @@ class TemporalSequenceDatabase:
         return list(self.event_support())
 
     def instances_at(self, position: int, event: str) -> list[EventInstance]:
-        """Instances of ``event`` in the granule at ``position``."""
+        """Instances of ``event`` in the granule at ``position``.
+
+        Per event the returned list is chronologically ordered and its
+        runs are disjoint (Def. 3.10 run grouping), which is the
+        invariant the columnar instance index's start-sorted tables and
+        the sweep-join kernels build on (see
+        :mod:`repro.core.instance_index`).
+        """
         return self.sequence_at(position).instances_of(event)
 
     def total_instances(self) -> int:

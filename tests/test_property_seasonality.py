@@ -74,3 +74,23 @@ def test_adding_occurrences_never_lowers_max_season(support, params):
     assert max_season(len(extended), params.min_density) >= max_season(
         len(support), params.min_density
     )
+
+
+@given(supports, params_strategy)
+def test_chain_counter_equals_view(support, params):
+    from repro.core.seasonality import count_seasons, is_frequent_seasonal
+
+    view = compute_seasons(support, params)
+    assert count_seasons(support, params) == view.n_seasons
+    assert is_frequent_seasonal(support, params) == (
+        view.n_seasons >= params.min_season
+    )
+
+
+@given(supports, params_strategy, st.integers(1, 6))
+def test_chain_counter_early_exit_is_sound(support, params, stop_at):
+    from repro.core.seasonality import count_seasons
+
+    exact = compute_seasons(support, params).n_seasons
+    stopped = count_seasons(support, params, stop_at=stop_at)
+    assert (stopped >= stop_at) == (exact >= stop_at)

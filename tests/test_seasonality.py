@@ -118,3 +118,40 @@ class TestComputeSeasons:
     def test_count_matches_view(self, paper_params):
         support = [1, 2, 3, 7, 8, 11, 12, 14]
         assert count_seasons(support, paper_params) == 2
+
+
+class TestChainCounter:
+    """The early-exit chain counter mirrors compute_seasons exactly."""
+
+    CASES = [
+        # (support, params kwargs) exercising every chain-walk branch.
+        ([1, 2, 3, 7, 8, 11, 12, 14], dict(max_period=2, min_density=3, dist_interval=(0, 10), min_season=2)),
+        ([1, 2, 5, 8, 9], dict(max_period=1, min_density=2, dist_interval=(0, 10), min_season=1)),
+        ([1, 2, 4, 5, 10, 11], dict(max_period=1, min_density=2, dist_interval=(5, 20), min_season=1)),
+        # dist_max break mid-chain, then a fresh chain.
+        ([1, 2, 30, 31, 33, 60, 61], dict(max_period=2, min_density=2, dist_interval=(0, 5), min_season=1)),
+        # Trimming empties a set entirely.
+        ([1, 2, 3, 4, 40, 41], dict(max_period=1, min_density=2, dist_interval=(3, 50), min_season=1)),
+        ([], dict(max_period=2, min_density=1, dist_interval=(0, 5), min_season=1)),
+        ([7], dict(max_period=2, min_density=1, dist_interval=(0, 5), min_season=1)),
+    ]
+
+    def test_counter_equals_view(self):
+        for support, kwargs in self.CASES:
+            params = MiningParams(**kwargs)
+            expected = compute_seasons(support, params).n_seasons
+            assert count_seasons(support, params) == expected, (support, kwargs)
+
+    def test_early_exit_stops_at_threshold(self):
+        params = MiningParams(
+            max_period=1, min_density=1, dist_interval=(0, 5), min_season=2
+        )
+        support = list(range(1, 60, 3))  # many seasons available
+        assert compute_seasons(support, params).n_seasons > 2
+        assert count_seasons(support, params, stop_at=2) == 2
+
+    def test_frequency_gate_equivalence(self):
+        for support, kwargs in self.CASES:
+            params = MiningParams(**kwargs)
+            expected = compute_seasons(support, params).n_seasons >= params.min_season
+            assert is_frequent_seasonal(support, params) == expected, (support, kwargs)
