@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
 
 def run_once(benchmark, fn):
     """Run an experiment exactly once under the benchmark timer."""
@@ -13,3 +20,38 @@ def series_means(figure) -> dict[str, float]:
     return {
         name: sum(values) / len(values) for name, values in figure.series.items()
     }
+
+
+def record_benchmark_json(ext: str, run: dict) -> Path:
+    """Record one benchmark run in a machine-readable EXT record.
+
+    One JSON file per EXT suite (``benchmarks/results/BENCH_<ext>.json``),
+    holding a run list plus an environment stamp, so speedup history can
+    be compared across machines and commits without re-parsing the
+    rendered ``.txt`` artifacts.  ``run`` should carry a unique ``name``
+    (runs of the same name replace each other -- parametrized bench tests
+    each record their own regime), the workload identity, and the
+    measured wall-clocks/speedups; anything JSON-serializable goes
+    through untouched.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{ext}.json"
+    runs: list[dict] = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+    runs = [entry for entry in runs if entry.get("name") != run.get("name")]
+    runs.append(run)
+    runs.sort(key=lambda entry: str(entry.get("name", "")))
+    payload = {
+        "ext": ext,
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "runs": runs,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -30,7 +30,7 @@ Three measurements:
 import time
 
 import pytest
-from _shared import run_once
+from _shared import record_benchmark_json, run_once
 
 from repro.core.executor import ParallelExecutor, SerialExecutor, ThreadExecutor
 from repro.core.results import results_equivalent
@@ -90,6 +90,17 @@ def test_bitset_vs_list_intersection_throughput(benchmark, record_artifact, name
             ]
         ),
     )
+    record_benchmark_json(
+        "EXT2",
+        {
+            "name": f"intersect-{name}",
+            "workload": {"dataset": name, "n_supports": len(positions),
+                         "rounds": INTERSECTION_ROUNDS},
+            "list_ops_per_s": list_ops,
+            "bitset_ops_per_s": bitset_ops,
+            "speedup": speedup,
+        },
+    )
     assert bitset_ops > list_ops, "bitset intersection should beat the list merge"
 
 
@@ -128,6 +139,23 @@ def test_serial_vs_parallel_executor(benchmark, record_artifact, name):
             f"  {serial_seconds / parallel_seconds:7.2f}  {len(serial):9d}"
         )
     record_artifact(f"EXT2-parallel-{name}", "\n".join(lines))
+    record_benchmark_json(
+        "EXT2",
+        {
+            "name": f"parallel-{name}",
+            "workload": {"dataset": name, "fractions": list(FRACTIONS)},
+            "rows": [
+                {
+                    "n_sequences": n_seq,
+                    "serial_seconds": serial_seconds,
+                    "parallel_seconds": parallel_seconds,
+                    "speedup": serial_seconds / parallel_seconds,
+                    "n_patterns": len(serial),
+                }
+                for n_seq, serial, serial_seconds, _, parallel_seconds in rows
+            ],
+        },
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -228,6 +256,17 @@ def test_pool_reuse_multi_level(benchmark, record_artifact):
         "so reuse_pool auto-selects per start method)",
     ]
     record_artifact("EXT2-pool-reuse", "\n".join(lines))
+    record_benchmark_json(
+        "EXT2",
+        {
+            "name": "pool-reuse",
+            "workload": {"jobs": [job[0] for job in _REUSE_JOBS],
+                         "n_level_dispatches": 9, "workers": 2},
+            "seconds": dict(timings),
+            "speedup": speedup,
+            "floor": _REUSE_SPEEDUP_FLOOR,
+        },
+    )
     assert speedup >= _REUSE_SPEEDUP_FLOOR, (
         f"pool reuse speedup {speedup:.2f}x below the {_REUSE_SPEEDUP_FLOOR}x floor"
     )

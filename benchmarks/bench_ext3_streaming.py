@@ -20,7 +20,7 @@ streamed result equals the batch result exactly.
 import time
 
 import pytest
-from _shared import run_once
+from _shared import record_benchmark_json, run_once
 
 from repro.core.results import results_equivalent
 from repro.core.stpm import ESTPM
@@ -77,6 +77,22 @@ def test_incremental_vs_batch_remine(benchmark, record_artifact, name):
                 f"({len(latencies)} advances)",
             ]
         ),
+    )
+    record_benchmark_json(
+        "EXT3",
+        {
+            "name": f"streaming-{name}",
+            "workload": {"dataset": name, "n_granules": n_sequences,
+                         "initial_granules": initial,
+                         "batch_granules": BATCH_GRANULES},
+            "mean_late_update_seconds": mean_late,
+            "batch_remine_seconds": remine_seconds,
+            "speedup": speedup,
+            "floor": MIN_SPEEDUP,
+            "total_incremental_seconds": total_incremental,
+            "n_advances": len(latencies),
+            "n_patterns": n_patterns,
+        },
     )
     assert speedup >= MIN_SPEEDUP, (
         f"late-stream incremental updates must be >= {MIN_SPEEDUP}x faster than "

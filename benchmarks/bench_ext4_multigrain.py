@@ -25,7 +25,7 @@ than the per-level-rebuild baseline on a >= 3-level hierarchy, with
 import time
 
 import pytest
-from _shared import run_once
+from _shared import record_benchmark_json, run_once
 
 from repro.core.results import results_equivalent
 from repro.datasets.energy import build_re
@@ -95,6 +95,20 @@ def test_fold_vs_rebuild_hierarchy(benchmark, record_artifact, name):
                 "  per-level results are results_equivalent across strategies",
             ]
         ),
+    )
+    record_benchmark_json(
+        "EXT4",
+        {
+            "name": f"multigrain-{name}",
+            "workload": {"dataset": name, "n_sequences": N_SEQUENCES,
+                         "ratios": list(ratios)},
+            "fold_seconds": fold_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "speedup": speedup,
+            "floor": MIN_SPEEDUP,
+            "events_screened": screened,
+            "granule_rows_skipped": skipped,
+        },
     )
     assert speedup >= MIN_SPEEDUP, (
         f"fold-derived hierarchical mining must be >= {MIN_SPEEDUP}x faster "

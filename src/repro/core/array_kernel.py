@@ -1,0 +1,866 @@
+"""Array-backed step-2.2 kernels v2 (the ``"array"`` kernel).
+
+The PR 5 sweep join made pattern growth columnar, but its columns were
+pure-Python tuples walked by per-pair interpreted loops.  This module
+rebuilds the data plane on the contiguous ``array('q')`` buffers of
+:class:`~repro.core.instance_index.InstanceColumn`:
+
+* **Bulk-Follows boundary arithmetic.**  For one ``(event_a, event_b)``
+  column pair the epsilon-shifted bulk boundaries ``head[i]`` (every
+  ``b`` wholly before ``a_i``) and ``tail[i]`` (every ``b`` wholly after
+  ``a_i``) are computed for the *entire* column in one vectorized
+  ``searchsorted`` per side -- no per-instance bisect, no two-pointer
+  interpretation.
+* **Batched near-window classification.**  The candidate pairs between
+  the boundaries are classified in one call through
+  :func:`~repro.events.relations.relation_masks_of_bounds` (the
+  vectorized Table III core), and the verdicts land directly in the
+  encoded-assignment ``(earlier_index, later_index)`` format that
+  ``GH_k`` stores -- there is no per-pair Python dispatch in either the
+  bulk or the near regime.
+* **Verdict-row sweep for extension.**  :func:`array_extend_group_patterns`
+  precomputes the bulk boundaries of every existing instance of a column
+  against the new-event column in one ``searchsorted`` pair, builds each
+  verdict row once (bulk prefix/suffix fills plus a classified near
+  window), and -- new over the sweep kernel -- combines rows per
+  assignment with O(1) *bulk-zone* handling: the index range where every
+  slot verdict is a constant Follows is accepted (or rejected, when the
+  Iterative Check already killed the triple) without touching the
+  per-index loop.
+
+Compute backend
+---------------
+The vectorized paths run on numpy when
+:func:`repro.core.config.get_numpy` provides it; the pure-Python
+machine-word fallback (same boundaries via an amortized two-pointer,
+same batched semantics via C-level ``zip``/``range`` bulk generation) is
+always available and produces identical results.  Selection is
+process-wide (``REPRO_COMPUTE`` / ``set_compute_backend``); parity
+across backends is pinned by the hypothesis suites.
+
+Both kernels accept and produce exactly the structures of their sweep
+counterparts in :mod:`repro.core.stpm`, so the batch miner, the
+streaming miner, and every executor backend can dispatch to either
+implementation interchangeably (``results_equivalent`` output).
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+
+from repro.core.config import get_numpy
+from repro.core.hlh import HLH1, Assignment, HLHk
+from repro.core.instance_index import (
+    LazyAssignments,
+    intern_pair_pattern,
+    intern_pattern,
+    intern_triple,
+)
+from repro.core.pattern import TemporalPattern, Triple, splice_triples
+from repro.events.relations import CONTAINS, FOLLOWS, OVERLAPS, relation_masks_of_bounds
+
+#: Verdict sentinel: "computed, and no (allowed) relation holds".  Local
+#: to this module; rows never leave the kernel, so the sweep kernel's
+#: sentinel and this one never meet.
+_NO_RELATION = object()
+
+#: Below this instance-product size the per-granule numpy path costs
+#: more than it saves (fixed per-join array overhead vs an amortized
+#: two-pointer walk); the pure-Python fallback handles small columns.
+#: Crossover measured on the EXT5 dense regimes: columns shorter than
+#: ~64-80 instances run faster through the scalar path.
+_NUMPY_MIN_WORK = 4096
+
+
+# ---------------------------------------------------------------------------
+# Pair enumeration (step 2.2, k = 2)
+# ---------------------------------------------------------------------------
+
+
+def array_collect_pair_patterns(
+    hlh1: HLH1,
+    event_a: str,
+    event_b: str,
+    granules,
+    relation,
+    pattern_support: dict[TemporalPattern, list[int]],
+    pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]],
+) -> None:
+    """Enumerate the related instance pairs of one event pair per granule.
+
+    Drop-in replacement for :func:`repro.core.stpm.collect_pair_patterns`
+    (same signature, same accumulation contract, equivalent output) built
+    on whole-column boundary arithmetic and batched classification; see
+    the module docstring for the mechanics.
+    """
+    epsilon = relation.epsilon
+    min_overlap = relation.min_overlap
+    np = get_numpy()
+    entries: dict[tuple[str, str, str], tuple[list, dict]] = {}
+
+    def _bucket(key: tuple[str, str, str], granule: int) -> list:
+        """The assignment list of one pattern at one granule, marking the
+        granule in the pattern's support on first use."""
+        entry = entries.get(key)
+        if entry is None:
+            pattern = intern_pair_pattern(*key)
+            entry = entries[key] = (
+                pattern_support.setdefault(pattern, []),
+                pattern_assignments.setdefault(pattern, {}),
+            )
+        support_list, by_granule = entry
+        if not support_list or support_list[-1] != granule:
+            support_list.append(granule)
+        bucket = by_granule.get(granule)
+        if bucket is None:
+            bucket = by_granule[granule] = LazyAssignments()
+        return bucket
+
+    same = event_a == event_b
+    for granule in granules:
+        column_a = hlh1.column_of(event_a, granule)
+        n_a = len(column_a.starts_arr)
+        if n_a == 0:
+            continue
+        if same:
+            if np is not None and n_a * n_a >= _NUMPY_MIN_WORK:
+                _self_join_numpy(
+                    np, column_a, event_a, granule,
+                    epsilon, min_overlap, _bucket,
+                )
+            else:
+                _self_join_python(
+                    column_a, event_a, granule, epsilon, min_overlap, _bucket
+                )
+            continue
+        column_b = hlh1.column_of(event_b, granule)
+        n_b = len(column_b.starts_arr)
+        if n_b == 0:
+            continue
+        if np is not None and n_a * n_b >= _NUMPY_MIN_WORK:
+            _pair_join_numpy(
+                np, column_a, column_b, event_a, event_b, granule,
+                epsilon, min_overlap, _bucket,
+            )
+        else:
+            _pair_join_python(
+                column_a, column_b, event_a, event_b, granule,
+                epsilon, min_overlap, _bucket,
+            )
+
+
+def _expand_ranges(np, lo, hi):
+    """Flatten per-row index ranges ``[lo[i], hi[i])`` into parallel
+    ``(i, j)`` arrays, row-major -- the bulk pair generator.
+
+    ``lo`` / ``hi`` are equal-length integer arrays with ``hi >= lo``.
+    Returns ``None`` when every range is empty.
+    """
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return None
+    i_rep = np.arange(len(counts)).repeat(counts)
+    run_starts = counts.cumsum() - counts
+    j_flat = np.arange(total) - (run_starts - lo).repeat(counts)
+    return i_rep, j_flat
+
+
+def _emit_classified(
+    np, i_rep, j_flat, a_first, masks, event_a, event_b, granule, bucket_of
+) -> None:
+    """Route one classified near-window batch into its pattern buckets.
+
+    ``a_first[p]`` says whether instance ``i`` of ``event_a`` is the
+    chronologically earlier element of pair ``p``; encoded assignments
+    are ``(earlier_index, later_index)``.
+    """
+    for rel, mask in masks:
+        for first_is_a in (True, False):
+            selected = mask & a_first if first_is_a else mask & ~a_first
+            index = np.nonzero(selected)[0]
+            if not len(index):
+                continue
+            ii = i_rep[index].tolist()
+            jj = j_flat[index].tolist()
+            if first_is_a:
+                key = (rel, event_a, event_b)
+                pairs = zip(ii, jj)
+            else:
+                key = (rel, event_b, event_a)
+                pairs = zip(jj, ii)
+            bucket_of(key, granule).extend(pairs)
+
+
+def _pair_join_numpy(
+    np, column_a, column_b, event_a, event_b, granule, epsilon, min_overlap, bucket_of
+) -> None:
+    """Vectorized distinct-event join of two columns at one granule."""
+    sa = np.frombuffer(column_a.starts_arr, dtype=np.int64)
+    ea = np.frombuffer(column_a.ends_arr, dtype=np.int64)
+    sb = np.frombuffer(column_b.starts_arr, dtype=np.int64)
+    eb = np.frombuffer(column_b.ends_arr, dtype=np.int64)
+    n_b = len(sb)
+    # Epsilon-shifted bulk-Follows boundaries for the whole column: b's
+    # with ends_b[j] + eps < start_i are wholly before a_i (pure b -> a
+    # Follows), b's with starts_b[j] >= end_i + eps + 1 wholly after
+    # (pure a -> b Follows).  Both zones stay *implicit*: the boundary
+    # lists go into the LazyAssignments blocks, no pair tuples built.
+    head = eb.searchsorted(sa - (epsilon + 1), side="right")
+    tail = np.maximum(sb.searchsorted(ea + (epsilon + 1), side="left"), head)
+    before_total = int(head.sum())
+    if before_total:
+        bucket_of((FOLLOWS, event_b, event_a), granule).add_bulk_before(
+            head.tolist(), before_total
+        )
+    after_total = len(sa) * n_b - int(tail.sum())
+    if after_total:
+        bucket_of((FOLLOWS, event_a, event_b), granule).add_bulk_after(
+            tail.tolist(), n_b, after_total
+        )
+    near = _expand_ranges(np, head, tail)
+    if near is None:
+        return
+    i_rep, j_flat = near
+    s_i, e_i = sa[i_rep], ea[i_rep]
+    s_j, e_j = sb[j_flat], eb[j_flat]
+    a_first = (s_i < s_j) | (
+        (s_i == s_j) & ((e_i > e_j) | ((e_i == e_j) & (event_a <= event_b)))
+    )
+    s_1 = np.where(a_first, s_i, s_j)
+    e_1 = np.where(a_first, e_i, e_j)
+    s_2 = np.where(a_first, s_j, s_i)
+    e_2 = np.where(a_first, e_j, e_i)
+    contains, follows, overlaps = relation_masks_of_bounds(
+        np, s_1, e_1, s_2, e_2, epsilon, min_overlap
+    )
+    _emit_classified(
+        np, i_rep, j_flat, a_first,
+        ((CONTAINS, contains), (FOLLOWS, follows), (OVERLAPS, overlaps)),
+        event_a, event_b, granule, bucket_of,
+    )
+
+
+def _self_join_numpy(
+    np, column, event, granule, epsilon, min_overlap, bucket_of
+) -> None:
+    """Vectorized same-event join (distinct ordered pairs ``i < j``)."""
+    starts = np.frombuffer(column.starts_arr, dtype=np.int64)
+    ends = np.frombuffer(column.ends_arr, dtype=np.int64)
+    n = len(starts)
+    index = np.arange(n)
+    # Same-event runs are disjoint, so i always precedes j > i; the only
+    # boundary is the bulk i -> j Follows tail.
+    tail = np.maximum(starts.searchsorted(ends + (epsilon + 1), side="left"), index + 1)
+    after_total = n * n - int(tail.sum())
+    if after_total:
+        bucket_of((FOLLOWS, event, event), granule).add_bulk_after(
+            tail.tolist(), n, after_total
+        )
+    near = _expand_ranges(np, index + 1, tail)
+    if near is None:
+        return
+    i_rep, j_flat = near
+    contains, follows, overlaps = relation_masks_of_bounds(
+        np, starts[i_rep], ends[i_rep], starts[j_flat], ends[j_flat],
+        epsilon, min_overlap,
+    )
+    for rel, mask in ((CONTAINS, contains), (FOLLOWS, follows), (OVERLAPS, overlaps)):
+        selected = np.nonzero(mask)[0]
+        if not len(selected):
+            continue
+        bucket_of((rel, event, event), granule).extend(
+            zip(i_rep[selected].tolist(), j_flat[selected].tolist())
+        )
+
+
+def _pair_join_python(
+    column_a, column_b, event_a, event_b, granule, epsilon, min_overlap, bucket_of
+) -> None:
+    """Pure-Python distinct-event join: amortized two-pointer boundaries
+    feeding the same lazy bulk-Follows blocks as the numpy path, with a
+    scalar classification loop over the near windows (the mandatory
+    fallback, equivalent accumulation)."""
+    starts_a, ends_a = column_a.starts, column_a.ends
+    starts_b, ends_b = column_b.starts, column_b.ends
+    n_a, n_b = len(starts_a), len(starts_b)
+    follows_ab = (FOLLOWS, event_a, event_b)
+    follows_ba = (FOLLOWS, event_b, event_a)
+    buckets: dict[tuple[str, str, str], list] = {}
+
+    def _local(key):
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = bucket_of(key, granule)
+        return bucket
+
+    heads = []
+    tails = []
+    before_total = 0
+    after_total = 0
+    head = 0
+    tail = 0
+    for i in range(n_a):
+        start_i = starts_a[i]
+        end_i = ends_a[i]
+        while head < n_b and ends_b[head] + epsilon < start_i:
+            head += 1
+        threshold = end_i + epsilon + 1
+        if tail < head:
+            tail = head
+        while tail < n_b and starts_b[tail] < threshold:
+            tail += 1
+        heads.append(head)
+        tails.append(tail)
+        before_total += head
+        after_total += n_b - tail
+        for j in range(head, tail):
+            start_j = starts_b[j]
+            end_j = ends_b[j]
+            if start_j != start_i:
+                a_first = start_i < start_j
+            elif end_j != end_i:
+                a_first = end_i > end_j
+            else:
+                a_first = event_a <= event_b
+            if a_first:
+                s_1, e_1, s_2, e_2 = start_i, end_i, start_j, end_j
+            else:
+                s_1, e_1, s_2, e_2 = start_j, end_j, start_i, end_i
+            if s_1 <= s_2 and e_2 <= e_1 + epsilon:
+                rel = CONTAINS
+            elif s_2 >= e_1 + 1 - epsilon:
+                rel = FOLLOWS
+            elif (
+                s_1 < s_2
+                and e_1 + epsilon < e_2
+                and e_1 + 1 - s_2 >= min_overlap - epsilon
+            ):
+                rel = OVERLAPS
+            else:
+                continue
+            if a_first:
+                _local((rel, event_a, event_b)).append((i, j))
+            else:
+                _local((rel, event_b, event_a)).append((j, i))
+    if before_total:
+        _local(follows_ba).add_bulk_before(heads, before_total)
+    if after_total:
+        _local(follows_ab).add_bulk_after(tails, n_b, after_total)
+
+
+def _self_join_python(
+    column, event, granule, epsilon, min_overlap, bucket_of
+) -> None:
+    """Pure-Python same-event join (distinct ordered pairs ``i < j``)."""
+    starts, ends = column.starts, column.ends
+    n = len(starts)
+    buckets: dict[tuple[str, str, str], list] = {}
+
+    def _local(key):
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = bucket_of(key, granule)
+        return bucket
+
+    tails = []
+    after_total = 0
+    tail = 0
+    for i in range(n):
+        start_i = starts[i]
+        end_i = ends[i]
+        if tail <= i:
+            tail = i + 1
+        threshold = end_i + epsilon + 1
+        while tail < n and starts[tail] < threshold:
+            tail += 1
+        tails.append(tail)
+        after_total += n - tail
+        for j in range(i + 1, tail):
+            start_j = starts[j]
+            end_j = ends[j]
+            if start_i <= start_j and end_j <= end_i + epsilon:
+                rel = CONTAINS
+            elif start_j >= end_i + 1 - epsilon:
+                rel = FOLLOWS
+            elif (
+                start_i < start_j
+                and end_i + epsilon < end_j
+                and end_i + 1 - start_j >= min_overlap - epsilon
+            ):
+                rel = OVERLAPS
+            else:
+                continue
+            _local((rel, event, event)).append((i, j))
+    if after_total:
+        _local((FOLLOWS, event, event)).add_bulk_after(tails, n, after_total)
+
+
+# ---------------------------------------------------------------------------
+# Group extension (step 2.2, k >= 3)
+# ---------------------------------------------------------------------------
+
+
+def _column_boundaries(np, existing_column, new_column, epsilon):
+    """Bulk-Follows boundaries of *every* existing instance against the
+    new-event column, as parallel ``head`` / ``tail`` lists.
+
+    One vectorized ``searchsorted`` pair per (existing event, granule)
+    replaces two bisects per verdict row; the pure-Python path keeps the
+    bisect-equivalent scan on the raw arrays.
+    """
+    if np is not None:
+        ex_starts = np.frombuffer(existing_column.starts_arr, dtype=np.int64)
+        ex_ends = np.frombuffer(existing_column.ends_arr, dtype=np.int64)
+        new_starts = np.frombuffer(new_column.starts_arr, dtype=np.int64)
+        new_ends = np.frombuffer(new_column.ends_arr, dtype=np.int64)
+        heads = new_ends.searchsorted(ex_starts - (epsilon + 1), side="right")
+        tails = np.maximum(
+            new_starts.searchsorted(ex_ends + (epsilon + 1), side="left"), heads
+        )
+        return heads.tolist(), tails.tolist()
+    from bisect import bisect_left, bisect_right
+
+    new_starts = new_column.starts
+    new_ends = new_column.ends
+    heads = []
+    tails = []
+    for index in range(len(existing_column.starts_arr)):
+        head = bisect_right(new_ends, existing_column.starts_arr[index] - epsilon - 1)
+        tail = bisect_left(new_starts, existing_column.ends_arr[index] + epsilon + 1)
+        heads.append(head)
+        tails.append(tail if tail > head else head)
+    return heads, tails
+
+
+def _verdict_row_array(
+    existing_column,
+    existing_event: str,
+    existing_index: int,
+    head: int,
+    tail: int,
+    event: str,
+    new_column,
+    epsilon: int,
+    min_overlap: int,
+    allowed_triples,
+    before,
+    after,
+):
+    """One existing instance's verdicts against the whole new column.
+
+    Returns ``(row, head, tail)``: ``row`` is the full verdict list
+    indexed by new-instance position (entries are ``(existing_first,
+    triple)`` or :data:`_NO_RELATION`); ``before`` / ``after`` are the
+    constant verdicts of the bulk prefix/suffix zones, precomputed once
+    per existing event by the caller (they depend only on the event
+    pair, not on the instance).
+    """
+    new_starts = new_column.starts
+    new_ends = new_column.ends
+    n_new = len(new_starts)
+    s_e = existing_column.starts_arr[existing_index]
+    e_e = existing_column.ends_arr[existing_index]
+    row: list = [before] * head if head else []
+    for j in range(head, tail):
+        s_n = new_starts[j]
+        e_n = new_ends[j]
+        if s_e != s_n:
+            existing_first = s_e < s_n
+        elif e_e != e_n:
+            existing_first = e_e > e_n
+        else:
+            existing_first = existing_event <= event
+        if existing_first:
+            s_1, e_1, s_2, e_2 = s_e, e_e, s_n, e_n
+        else:
+            s_1, e_1, s_2, e_2 = s_n, e_n, s_e, e_e
+        if s_1 <= s_2 and e_2 <= e_1 + epsilon:
+            rel = CONTAINS
+        elif s_2 >= e_1 + 1 - epsilon:
+            rel = FOLLOWS
+        elif (
+            s_1 < s_2
+            and e_1 + epsilon < e_2
+            and e_1 + 1 - s_2 >= min_overlap - epsilon
+        ):
+            rel = OVERLAPS
+        else:
+            row.append(_NO_RELATION)
+            continue
+        if existing_first:
+            info = (True, intern_triple(rel, existing_event, event))
+        else:
+            info = (False, intern_triple(rel, event, existing_event))
+        if allowed_triples is not None and info[1] not in allowed_triples:
+            info = _NO_RELATION
+        row.append(info)
+    if tail < n_new:
+        row.extend([after] * (n_new - tail))
+    if existing_event == event and existing_index < n_new:
+        # The existing instance is itself a column entry of the new
+        # event; it always falls inside the near window, so patching the
+        # row never touches the bulk-zone constants.
+        row[existing_index] = _NO_RELATION
+    return (row, head, tail)
+
+
+def _resolve_zone_bucket(
+    shape_cache: dict,
+    accumulator: dict,
+    shape: tuple,
+    events: tuple[str, ...],
+    prev_triples: tuple[Triple, ...],
+    partners: tuple[Triple, ...],
+    position: int,
+    k: int,
+    granule: int,
+) -> set:
+    """The dedup set of one bulk-zone shape at one granule.
+
+    Resolved lazily on the first contributing assignment (so a granule
+    whose assignments all have an empty zone never creates an empty
+    bucket), then reused for the rest of the granule by the caller.
+    """
+    entry = shape_cache.get(shape)
+    if entry is None:
+        triples = splice_triples(prev_triples, partners, position, k)
+        per_granule = accumulator.setdefault((events, triples), {})
+        entry = shape_cache[shape] = [per_granule, -1, None]
+    if entry[1] != granule:
+        per_granule = entry[0]
+        bucket = per_granule.get(granule)
+        if bucket is None:
+            bucket = per_granule[granule] = set()
+        entry[1] = granule
+        entry[2] = bucket
+    return entry[2]
+
+
+def array_extend_group_patterns(
+    hlh1: HLH1,
+    previous: HLHk,
+    entry_prev,
+    event: str,
+    candidate_triples,
+    params,
+    check_candidates: bool,
+    parent_patterns=None,
+    granule_filter=None,
+) -> tuple[
+    dict[TemporalPattern, list[int]],
+    dict[TemporalPattern, dict[int, list[Assignment]]],
+]:
+    """Extend every candidate pattern of one parent group with ``event``.
+
+    Drop-in replacement for
+    :func:`repro.core.stpm.extend_group_patterns` (same signature,
+    streaming hooks included, equivalent output).  On top of the sweep
+    kernel's verdict-row caching it precomputes whole-column bulk
+    boundaries (:func:`_column_boundaries`) and handles each assignment's
+    bulk zones in O(1): new-instance indices where every slot's verdict
+    is the constant before/after Follows are accepted as one batch --
+    or rejected as one batch when the Iterative Check already discarded
+    that Follows triple -- leaving the per-index loop only the combined
+    near window.
+    """
+    relation = params.relation
+    epsilon = relation.epsilon
+    min_overlap = relation.min_overlap
+    np = get_numpy()
+    allowed_triples = candidate_triples if check_candidates else None
+    if parent_patterns is None:
+        parent_patterns = entry_prev.patterns
+    accumulator: dict[tuple, dict[int, set[Assignment]]] = {}
+    # Per-granule caches: per existing event, a row list parallel to the
+    # event's instance column (verdict rows filled lazily) plus the
+    # whole-column boundary arrays.
+    row_cache: dict[int, dict[str, list]] = {}
+    boundary_cache: dict[int, dict[str, tuple[list, list]]] = {}
+    # Bulk-zone verdict constants per existing event: the prefix verdict
+    # of a slot is always "new Follows existing" and the suffix verdict
+    # "existing Follows new" -- independent of the realizing instance.
+    zone_constants: dict[str, tuple] = {}
+
+    def _zone_constants(existing_event: str) -> tuple:
+        constants = zone_constants.get(existing_event)
+        if constants is None:
+            before = (False, intern_triple(FOLLOWS, event, existing_event))
+            after = (True, intern_triple(FOLLOWS, existing_event, event))
+            if allowed_triples is not None:
+                if before[1] not in allowed_triples:
+                    before = _NO_RELATION
+                if after[1] not in allowed_triples:
+                    after = _NO_RELATION
+            constants = zone_constants[existing_event] = (before, after)
+        return constants
+
+    event_support = hlh1.support_of(event)
+    for pattern_prev in parent_patterns:
+        prev_events = pattern_prev.events
+        prev_triples = pattern_prev.triples
+        k = len(prev_events) + 1
+        n_slots = k - 1
+        shape_cache: dict[tuple, list] = {}
+        # The bulk-zone shapes of this parent pattern are assignment
+        # independent: every slot's prefix verdict is the same Follows
+        # triple for all realizing assignments, so the spliced identity
+        # and the Iterative Check verdict are hoisted out of the
+        # per-assignment loop entirely.
+        before_partners = tuple(
+            intern_triple(FOLLOWS, event, prev_event) for prev_event in prev_events
+        )
+        after_partners = tuple(
+            intern_triple(FOLLOWS, prev_event, event) for prev_event in prev_events
+        )
+        if allowed_triples is None:
+            before_ok = after_ok = True
+        else:
+            before_ok = all(t in allowed_triples for t in before_partners)
+            after_ok = all(t in allowed_triples for t in after_partners)
+        prefix_shape = (0, *before_partners)
+        suffix_shape = (n_slots, *after_partners)
+        prefix_events = (event,) + prev_events
+        suffix_events = prev_events + (event,)
+        common = previous.support_of(pattern_prev) & event_support
+        if granule_filter is not None:
+            common = common & granule_filter
+        for granule in common:
+            new_column = hlh1.column_of(event, granule)
+            n_new = len(new_column.starts_arr)
+            if n_new == 0:
+                continue
+            cache = row_cache.get(granule)
+            if cache is None:
+                cache = row_cache[granule] = {}
+                boundary_cache[granule] = {}
+            boundaries = boundary_cache[granule]
+            # Per-slot row lists, indexed directly by the encoded
+            # instance index of the slot's event (no tuple-key hashing
+            # in the per-assignment loop), plus the resolved boundary
+            # arrays and bulk-zone constants so a verdict-row miss costs
+            # one call.
+            slot_rows = []
+            slot_columns = []
+            slot_bounds = []
+            slot_zones = []
+            for existing_event in prev_events:
+                rows_of = cache.get(existing_event)
+                existing_column = hlh1.column_of(existing_event, granule)
+                if rows_of is None:
+                    rows_of = cache[existing_event] = (
+                        [None] * len(existing_column.starts_arr)
+                    )
+                bounds = boundaries.get(existing_event)
+                if bounds is None:
+                    bounds = boundaries[existing_event] = _column_boundaries(
+                        np, existing_column, new_column, epsilon
+                    )
+                slot_rows.append(rows_of)
+                slot_columns.append(existing_column)
+                slot_bounds.append(bounds)
+                slot_zones.append(_zone_constants(existing_event))
+            prefix_bucket: set | None = None
+            suffix_bucket: set | None = None
+            assignments = previous.assignments_of(pattern_prev, granule)
+            if n_slots == 2:
+                # k = 3 fast path (the dominant level under the default
+                # max_pattern_length): slot loop unrolled, extended
+                # tuples built positionally.
+                rows_of_0, rows_of_1 = slot_rows
+                column_0, column_1 = slot_columns
+                bounds_0, bounds_1 = slot_bounds
+                zone_0, zone_1 = slot_zones
+                event_0, event_1 = prev_events
+                for assignment in assignments:
+                    index_0, index_1 = assignment
+                    row_0 = rows_of_0[index_0]
+                    if row_0 is None:
+                        row_0 = rows_of_0[index_0] = _verdict_row_array(
+                            column_0, event_0, index_0,
+                            bounds_0[0][index_0], bounds_0[1][index_0],
+                            event, new_column, epsilon, min_overlap,
+                            allowed_triples, zone_0[0], zone_0[1],
+                        )
+                    row_1 = rows_of_1[index_1]
+                    if row_1 is None:
+                        row_1 = rows_of_1[index_1] = _verdict_row_array(
+                            column_1, event_1, index_1,
+                            bounds_1[0][index_1], bounds_1[1][index_1],
+                            event, new_column, epsilon, min_overlap,
+                            allowed_triples, zone_1[0], zone_1[1],
+                        )
+                    head = row_0[1]
+                    other = row_1[1]
+                    lo = other if other < head else head
+                    tail = row_0[2]
+                    other = row_1[2]
+                    hi = other if other > tail else tail
+                    if before_ok and lo:
+                        if prefix_bucket is None:
+                            prefix_bucket = _resolve_zone_bucket(
+                                shape_cache, accumulator, prefix_shape,
+                                prefix_events, prev_triples,
+                                before_partners, 0, k, granule,
+                            )
+                        prefix_bucket.update(
+                            zip(range(lo), repeat(index_0), repeat(index_1))
+                        )
+                    if after_ok and hi < n_new:
+                        if suffix_bucket is None:
+                            suffix_bucket = _resolve_zone_bucket(
+                                shape_cache, accumulator, suffix_shape,
+                                suffix_events, prev_triples,
+                                after_partners, n_slots, k, granule,
+                            )
+                        suffix_bucket.update(
+                            zip(repeat(index_0), repeat(index_1), range(hi, n_new))
+                        )
+                    if lo >= hi:
+                        continue
+                    verdicts_0 = row_0[0]
+                    verdicts_1 = row_1[0]
+                    for new_index in range(lo, hi):
+                        info_0 = verdicts_0[new_index]
+                        if info_0 is _NO_RELATION:
+                            continue
+                        info_1 = verdicts_1[new_index]
+                        if info_1 is _NO_RELATION:
+                            continue
+                        if info_0[0]:
+                            position = 2 if info_1[0] else 1
+                            extended = (
+                                (index_0, index_1, new_index)
+                                if position == 2
+                                else (index_0, new_index, index_1)
+                            )
+                        elif info_1[0]:
+                            position = 1
+                            extended = (index_0, new_index, index_1)
+                        else:
+                            position = 0
+                            extended = (new_index, index_0, index_1)
+                        shape_key = (position, info_0[1], info_1[1])
+                        entry = shape_cache.get(shape_key)
+                        if entry is None:
+                            events = (
+                                prev_events[:position]
+                                + (event,)
+                                + prev_events[position:]
+                            )
+                            triples = splice_triples(
+                                prev_triples,
+                                (info_0[1], info_1[1]),
+                                position,
+                                k,
+                            )
+                            per_granule = accumulator.setdefault(
+                                (events, triples), {}
+                            )
+                            entry = shape_cache[shape_key] = [per_granule, -1, None]
+                        if entry[1] != granule:
+                            per_granule = entry[0]
+                            bucket = per_granule.get(granule)
+                            if bucket is None:
+                                bucket = per_granule[granule] = set()
+                            entry[1] = granule
+                            entry[2] = bucket
+                        entry[2].add(extended)
+                continue
+            for assignment in assignments:
+                rows = []
+                lo = n_new
+                hi = 0
+                for slot in range(n_slots):
+                    index = assignment[slot]
+                    rows_of = slot_rows[slot]
+                    row = rows_of[index]
+                    if row is None:
+                        bounds = slot_bounds[slot]
+                        zone = slot_zones[slot]
+                        row = rows_of[index] = _verdict_row_array(
+                            slot_columns[slot], prev_events[slot], index,
+                            bounds[0][index], bounds[1][index],
+                            event, new_column, epsilon, min_overlap,
+                            allowed_triples, zone[0], zone[1],
+                        )
+                    rows.append(row)
+                    head = row[1]
+                    tail = row[2]
+                    if head < lo:
+                        lo = head
+                    if tail > hi:
+                        hi = tail
+                if before_ok and lo:
+                    # Bulk prefix: every new instance before lo is a pure
+                    # new -> existing Follows against every slot (one
+                    # batch; skipped wholesale when the Iterative Check
+                    # discarded any of the Follows triples).
+                    if prefix_bucket is None:
+                        prefix_bucket = _resolve_zone_bucket(
+                            shape_cache, accumulator, prefix_shape,
+                            prefix_events, prev_triples, before_partners,
+                            0, k, granule,
+                        )
+                    prefix_bucket.update(
+                        [(new_index,) + assignment for new_index in range(lo)]
+                    )
+                if after_ok and hi < n_new:
+                    # Bulk suffix: every new instance from hi on is a
+                    # pure existing -> new Follows against every slot.
+                    if suffix_bucket is None:
+                        suffix_bucket = _resolve_zone_bucket(
+                            shape_cache, accumulator, suffix_shape,
+                            suffix_events, prev_triples, after_partners,
+                            n_slots, k, granule,
+                        )
+                    suffix_bucket.update(
+                        [assignment + (new_index,) for new_index in range(hi, n_new)]
+                    )
+                for new_index in range(lo, hi):
+                    position = 0
+                    partner: list[Triple] = []
+                    valid = True
+                    for slot in range(n_slots):
+                        info = rows[slot][0][new_index]
+                        if info is _NO_RELATION:
+                            valid = False
+                            break
+                        if info[0]:
+                            position += 1
+                        partner.append(info[1])
+                    if not valid:
+                        continue
+                    shape_key = (position, *partner)
+                    entry = shape_cache.get(shape_key)
+                    if entry is None:
+                        events = (
+                            prev_events[:position]
+                            + (event,)
+                            + prev_events[position:]
+                        )
+                        triples = splice_triples(prev_triples, partner, position, k)
+                        per_granule = accumulator.setdefault((events, triples), {})
+                        entry = shape_cache[shape_key] = [per_granule, -1, None]
+                    if entry[1] != granule:
+                        per_granule = entry[0]
+                        bucket = per_granule.get(granule)
+                        if bucket is None:
+                            bucket = per_granule[granule] = set()
+                        entry[1] = granule
+                        entry[2] = bucket
+                    entry[2].add(
+                        assignment[:position]
+                        + (new_index,)
+                        + assignment[position:]
+                    )
+    pattern_support: dict[TemporalPattern, list[int]] = {}
+    pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
+    for (events, triples), per_granule in accumulator.items():
+        pattern = intern_pattern(events, triples)
+        pattern_support[pattern] = sorted(per_granule)
+        pattern_assignments[pattern] = {
+            granule: sorted(assignments)
+            for granule, assignments in per_granule.items()
+        }
+    return pattern_support, pattern_assignments

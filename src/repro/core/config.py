@@ -18,10 +18,93 @@ to absolute granule counts.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.events.relations import RelationConfig
 from repro.exceptions import ConfigError
+
+# ---------------------------------------------------------------------------
+# Compute-backend selection (numpy-optional kernels)
+# ---------------------------------------------------------------------------
+
+#: Compute backends of the array kernels: ``auto`` uses numpy when it is
+#: importable, ``numpy`` requires it, ``python`` forces the pure-Python
+#: machine-word fallback (always available, always equivalent).
+COMPUTE_AUTO = "auto"
+COMPUTE_NUMPY = "numpy"
+COMPUTE_PYTHON = "python"
+COMPUTE_BACKENDS = (COMPUTE_AUTO, COMPUTE_NUMPY, COMPUTE_PYTHON)
+
+#: Environment override so spawned pool workers (and CI fallback legs)
+#: inherit the selection without any in-process plumbing.
+COMPUTE_ENV_VAR = "REPRO_COMPUTE"
+
+_COMPUTE_BACKEND: str | None = None
+#: The numpy module, ``None`` when unavailable/disabled, unset sentinel
+#: while the import has not been attempted.
+_NUMPY_MODULE = ...
+
+
+def validate_compute_backend(backend: str) -> str:
+    """Return ``backend`` if known, raise :class:`ConfigError` otherwise."""
+    if backend not in COMPUTE_BACKENDS:
+        raise ConfigError(
+            f"unknown compute backend {backend!r}; choose from {COMPUTE_BACKENDS}"
+        )
+    return backend
+
+
+def compute_backend() -> str:
+    """The selected compute backend (``auto`` / ``numpy`` / ``python``).
+
+    Resolution order: :func:`set_compute_backend`, then the
+    ``REPRO_COMPUTE`` environment variable, then ``auto``.
+    """
+    if _COMPUTE_BACKEND is not None:
+        return _COMPUTE_BACKEND
+    return validate_compute_backend(os.environ.get(COMPUTE_ENV_VAR, COMPUTE_AUTO))
+
+
+def set_compute_backend(backend: str | None) -> str | None:
+    """Set the process-wide compute backend; returns the previous override.
+
+    ``None`` clears the override (falling back to the environment /
+    ``auto``).  The selection only affects *speed*: every array kernel has
+    a pure-Python path producing identical results.
+    """
+    global _COMPUTE_BACKEND, _NUMPY_MODULE
+    previous = _COMPUTE_BACKEND
+    _COMPUTE_BACKEND = (
+        validate_compute_backend(backend) if backend is not None else None
+    )
+    _NUMPY_MODULE = ...  # re-resolve on next use
+    return previous
+
+
+def get_numpy():
+    """The numpy module when the selection allows it, else ``None``.
+
+    ``python`` always returns ``None``; ``numpy`` raises
+    :class:`ConfigError` when numpy is not importable; ``auto`` quietly
+    falls back to ``None``.  The import is attempted once and cached.
+    """
+    global _NUMPY_MODULE
+    backend = compute_backend()
+    if backend == COMPUTE_PYTHON:
+        return None
+    if _NUMPY_MODULE is ...:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _NUMPY_MODULE = numpy
+    if _NUMPY_MODULE is None and backend == COMPUTE_NUMPY:
+        raise ConfigError(
+            "compute backend 'numpy' requested but numpy is not importable; "
+            "install numpy or select 'auto'/'python'"
+        )
+    return _NUMPY_MODULE
 
 
 @dataclass(frozen=True)

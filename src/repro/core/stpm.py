@@ -60,12 +60,18 @@ from repro.core._kernel_reference import (
     reference_collect_pair_patterns,
     reference_extend_group_patterns,
 )
+from repro.core.array_kernel import (
+    array_collect_pair_patterns,
+    array_extend_group_patterns,
+)
 from repro.core.config import MiningParams
 from repro.core.executor import MiningExecutor, executor_scope, get_task_context
 from repro.core.hlh import HLH1, Assignment, HLHk
 from repro.core.instance_index import (
+    KERNEL_ARRAY,
     KERNEL_REFERENCE,
     KERNEL_SWEEP,
+    default_kernel,
     intern_pair_pattern,
     intern_pattern,
     intern_triple,
@@ -96,6 +102,20 @@ from repro.transform.sequence_db import TemporalSequenceDatabase
 _NO_RELATION = object()
 
 
+def kernel_functions(kernel: str):
+    """``(collect_pair_patterns, extend_group_patterns)`` of one kernel.
+
+    The registry behind every dispatch site -- group tasks, the
+    streaming miner, tests.  All kernels share one signature and produce
+    ``results_equivalent`` output; they differ only in data plane
+    (``array``: vectorized bulk boundaries + batched classification;
+    ``sweep``: the PR 5 tuple two-pointer; ``reference``: pre-index
+    object-at-a-time loops).
+    """
+    validate_kernel(kernel)
+    return _KERNEL_FUNCTIONS[kernel]
+
+
 def series_of(event: str) -> str:
     """The series name of an event key ``series:symbol``."""
     return event.rsplit(":", 1)[0]
@@ -119,10 +139,11 @@ class LevelContext:
     hlh1: HLH1
     previous: HLHk | None = None
     candidate_triples: frozenset[Triple] | None = None
-    #: Step-2.2 kernel the level's tasks run: the columnar sweep join
-    #: (default) or the pre-index reference loops.  Part of the context
-    #: so the choice reaches pool workers under any start method.
-    kernel: str = KERNEL_SWEEP
+    #: Step-2.2 kernel the level's tasks run: the vectorized array
+    #: kernel (default), the PR 5 columnar sweep join, or the pre-index
+    #: reference loops.  Part of the context so the choice reaches pool
+    #: workers under any start method.
+    kernel: str = KERNEL_ARRAY
 
 
 @dataclass(frozen=True)
@@ -333,11 +354,7 @@ def mine_pair_task(task: tuple[str, str]) -> GroupOutcome:
         return GroupOutcome((event_a, event_b), None, {}, {})
     pattern_support: dict[TemporalPattern, list[int]] = {}
     pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
-    collect = (
-        reference_collect_pair_patterns
-        if context.kernel == KERNEL_REFERENCE
-        else collect_pair_patterns
-    )
+    collect = kernel_functions(context.kernel)[0]
     collect(
         hlh1, event_a, event_b, support, params.relation,
         pattern_support, pattern_assignments,
@@ -359,11 +376,7 @@ def mine_extension_task(task: tuple[tuple[str, ...], str]) -> GroupOutcome:
     support = entry_prev.support & context.hlh1.support_of(event)
     if context.apriori and not is_candidate(len(support), context.params):
         return GroupOutcome(group, None, {}, {})
-    extend = (
-        reference_extend_group_patterns
-        if context.kernel == KERNEL_REFERENCE
-        else extend_group_patterns
-    )
+    extend = kernel_functions(context.kernel)[1]
     pattern_support, pattern_assignments = extend(
         context.hlh1,
         context.previous,
@@ -609,6 +622,17 @@ def extend_group_patterns(
     return pattern_support, pattern_assignments
 
 
+#: Kernel name -> (pair kernel, extension kernel).  See :func:`kernel_functions`.
+_KERNEL_FUNCTIONS = {
+    KERNEL_ARRAY: (array_collect_pair_patterns, array_extend_group_patterns),
+    KERNEL_SWEEP: (collect_pair_patterns, extend_group_patterns),
+    KERNEL_REFERENCE: (
+        reference_collect_pair_patterns,
+        reference_extend_group_patterns,
+    ),
+}
+
+
 # ---------------------------------------------------------------------------
 # The miner
 # ---------------------------------------------------------------------------
@@ -647,10 +671,14 @@ class ESTPM:
     n_workers:
         Worker processes when ``executor="parallel"`` (default: all cores).
     kernel:
-        Step-2.2 kernel implementation: ``"sweep"`` (the columnar
-        sweep-join engine, the default) or ``"reference"`` (the
-        pre-index object-at-a-time loops, kept for parity testing and
-        benchmarking).  Both kernels produce equivalent results.
+        Step-2.2 kernel implementation: ``"array"`` (the vectorized
+        array engine -- numpy when available, pure-Python machine-word
+        fallback otherwise), ``"sweep"`` (the columnar tuple sweep
+        join), or ``"reference"`` (the pre-index object-at-a-time
+        loops, kept for parity testing and benchmarking).  ``None``
+        resolves to the process-wide default
+        (:func:`~repro.core.instance_index.default_kernel`, normally
+        ``"array"``).  All kernels produce equivalent results.
     """
 
     dseq: TemporalSequenceDatabase
@@ -676,7 +704,7 @@ class ESTPM:
         """
         started = time.perf_counter()
         backend = validate_backend(self.support_backend or default_backend())
-        kernel = validate_kernel(self.kernel or KERNEL_SWEEP)
+        kernel = validate_kernel(self.kernel or default_kernel())
         stats = MiningStats(n_granules=len(self.dseq))
         patterns: list[SeasonalPattern] = []
 

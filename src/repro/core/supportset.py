@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence, Union
 
+from repro.core.config import get_numpy
 from repro.core.support import intersect_sorted
 from repro.exceptions import ConfigError
 
@@ -39,18 +40,49 @@ SUPPORT_BACKENDS = (BACKEND_BITSET, BACKEND_LIST)
 #: Anything the algebra accepts where a support set is expected.
 SupportLike = Union["SupportSet", Sequence[int]]
 
+#: Bitmasks at or below this bit length skip the chunked machine-word
+#: paths -- a handful of big-int ops on a few words beats the ``to_bytes``
+#: round trip.
+_SMALL_BITS = 4096
+
+#: Coarse granules folded per chunk by :func:`coarsen_bits` (the fine
+#: chunk is ``factor`` times wider); multiples of 8 keep every chunk
+#: byte-aligned for any factor.
+_COARSEN_CHUNK = 512
+
+#: Minimum position-list length before :func:`coarsen_positions` switches
+#: to the vectorized stride-merge.
+_NUMPY_MIN_POSITIONS = 1024
+
 
 def bit_positions(bits: int) -> list[int]:
     """The set bit indices of a support bitmask, ascending.
 
     The low-bit extraction primitive shared by :class:`BitsetSupportSet`
-    and the streaming miner's raw-bitmask state.
+    and the streaming miner's raw-bitmask state.  Small masks peel low
+    bits off the int directly; larger ones are exported once with
+    ``int.to_bytes`` and peeled word by word, so the total cost is linear
+    in the mask length instead of quadratic (every ``bits ^= low`` on a
+    big int copies the whole mask).
     """
     positions: list[int] = []
-    while bits:
-        low = bits & -bits
-        positions.append(low.bit_length() - 1)
-        bits ^= low
+    if bits.bit_length() <= _SMALL_BITS:
+        while bits:
+            low = bits & -bits
+            positions.append(low.bit_length() - 1)
+            bits ^= low
+        return positions
+    data = bits.to_bytes((bits.bit_length() + 7) // 8, "little")
+    from_bytes = int.from_bytes
+    for offset in range(0, len(data), 8):
+        word = from_bytes(data[offset : offset + 8], "little")
+        if not word:
+            continue
+        base = offset * 8
+        while word:
+            low = word & -word
+            positions.append(base + low.bit_length() - 1)
+            word ^= low
     return positions
 
 
@@ -63,9 +95,12 @@ def coarsen_bits(bits: int, factor: int, n_granules: int | None = None) -> int:
     positions (granules beyond it come from a trailing partial block that
     the sequence mapping drops).
 
-    The fold walks the big int block by block with one C-level mask/shift
-    pair per *coarse* granule, so its cost is independent of the fine
-    support's density.
+    Small masks fold with one mask/shift pair per coarse granule.  Large
+    masks are exported once with ``int.to_bytes`` and folded in
+    byte-aligned chunks of :data:`_COARSEN_CHUNK` coarse granules, so each
+    shift touches a fixed-size machine-word window instead of the whole
+    remaining big int -- linear total cost where the scalar loop is
+    quadratic.
     """
     if factor < 1:
         raise ConfigError(f"coarsening factor must be >= 1, got {factor}")
@@ -76,15 +111,38 @@ def coarsen_bits(bits: int, factor: int, n_granules: int | None = None) -> int:
         return folded
     block_mask = (1 << factor) - 1
     remaining = bits >> 1  # drop the never-set bit 0: fine position p -> bit p-1
+    if remaining.bit_length() <= _SMALL_BITS:
+        folded = 0
+        coarse = 1
+        while remaining:
+            if n_granules is not None and coarse > n_granules:
+                break
+            if remaining & block_mask:
+                folded |= 1 << coarse
+            remaining >>= factor
+            coarse += 1
+        return folded
+    data = remaining.to_bytes((remaining.bit_length() + 7) // 8, "little")
+    from_bytes = int.from_bytes
+    chunk_bytes = factor * (_COARSEN_CHUNK // 8)
     folded = 0
-    coarse = 1
-    while remaining:
-        if n_granules is not None and coarse > n_granules:
+    coarse_base = 0
+    for offset in range(0, len(data), chunk_bytes):
+        if n_granules is not None and coarse_base >= n_granules:
             break
-        if remaining & block_mask:
-            folded |= 1 << coarse
-        remaining >>= factor
-        coarse += 1
+        chunk = from_bytes(data[offset : offset + chunk_bytes], "little")
+        if chunk:
+            local = 0
+            position = 0
+            while chunk:
+                if chunk & block_mask:
+                    local |= 1 << position
+                chunk >>= factor
+                position += 1
+            folded |= local << (coarse_base + 1)
+        coarse_base += _COARSEN_CHUNK
+    if n_granules is not None:
+        folded &= (1 << (n_granules + 1)) - 1
     return folded
 
 
@@ -96,9 +154,25 @@ def coarsen_positions(
     The sorted-list counterpart of :func:`coarsen_bits`: fine position
     ``p`` maps to coarse position ``(p - 1) // factor + 1``; duplicates
     collapse (the input is ascending, so one comparison per position).
+    Long inputs stride-merge vectorized when numpy is enabled (see
+    :func:`repro.core.config.get_numpy`); the scalar loop is the always
+    available fallback and the semantics reference.
     """
     if factor < 1:
         raise ConfigError(f"coarsening factor must be >= 1, got {factor}")
+    if not isinstance(positions, (list, tuple)):
+        positions = list(positions)
+    if len(positions) >= _NUMPY_MIN_POSITIONS:
+        np = get_numpy()
+        if np is not None:
+            coarse = (np.asarray(positions, dtype=np.int64) - 1) // factor + 1
+            keep = np.empty(len(coarse), dtype=bool)
+            keep[0] = True
+            np.not_equal(coarse[1:], coarse[:-1], out=keep[1:])
+            folded_arr = coarse[keep]
+            if n_granules is not None:
+                folded_arr = folded_arr[folded_arr <= n_granules]
+            return folded_arr.tolist()
     folded: list[int] = []
     for position in positions:
         coarse = (position - 1) // factor + 1
@@ -202,10 +276,7 @@ class BitsetSupportSet(SupportSet):
     @classmethod
     def from_positions(cls, positions: Iterable[int]) -> "BitsetSupportSet":
         """Pack an iterable of non-negative positions into a bitset."""
-        bits = 0
-        for position in positions:
-            bits |= 1 << position
-        return cls(bits)
+        return cls(_pack_bits(positions))
 
     def positions(self) -> tuple[int, ...]:
         if self._cached is None:
@@ -283,14 +354,31 @@ _BACKEND_CLASSES = {
 _DEFAULT_BACKEND = BACKEND_BITSET
 
 
+def _pack_bits(positions: Iterable[int]) -> int:
+    """Pack non-negative positions into a big-int bitmask.
+
+    Sets bits in a flat ``bytearray`` (one in-place byte OR per position)
+    and converts once with ``int.from_bytes`` -- linear in the mask
+    length, where per-position ``bits |= 1 << p`` copies the growing big
+    int every time.
+    """
+    ordered = positions if isinstance(positions, (list, tuple)) else list(positions)
+    if not ordered:
+        return 0
+    top = max(ordered)
+    if top < 0 or min(ordered) < 0:
+        raise ConfigError("support positions cannot be negative")
+    packed = bytearray((top >> 3) + 1)
+    for position in ordered:
+        packed[position >> 3] |= 1 << (position & 7)
+    return int.from_bytes(packed, "little")
+
+
 def _as_bits(support: SupportLike) -> int:
     """The big-int bitmask of any support-like value."""
     if isinstance(support, BitsetSupportSet):
         return support.bits
-    bits = 0
-    for position in as_positions(support):
-        bits |= 1 << position
-    return bits
+    return _pack_bits(as_positions(support))
 
 
 def as_positions(support: SupportLike) -> Sequence[int]:

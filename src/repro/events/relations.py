@@ -109,6 +109,31 @@ def relation_of_bounds(
     return None
 
 
+def relation_masks_of_bounds(np, s1, e1, s2, e2, epsilon: int, min_overlap: int):
+    """Vectorized :func:`relation_of_bounds` over parallel bound arrays.
+
+    ``np`` is the numpy module (passed in so this module never imports
+    it); the four arguments are int64 arrays of *ordered* pair bounds.
+    Returns ``(contains, follows, overlaps)`` boolean masks -- mutually
+    exclusive by construction, evaluated in the same Contains -> Follows
+    -> Overlaps order as the scalar classifier, so
+    ``relation_of_bounds(s1[i], e1[i], s2[i], e2[i], ...)`` is Contains/
+    Follows/Overlaps/None exactly where the masks say.  This is the
+    batched near-window classification core of the array kernels
+    (:mod:`repro.core.array_kernel`).
+    """
+    contains = (s1 <= s2) & (e2 <= e1 + epsilon)
+    follows = ~contains & (s2 >= e1 + 1 - epsilon)
+    overlaps = (
+        ~contains
+        & ~follows
+        & (s1 < s2)
+        & (e1 + epsilon < e2)
+        & (e1 + 1 - s2 >= min_overlap - epsilon)
+    )
+    return contains, follows, overlaps
+
+
 def relation_between(
     earlier: EventInstance,
     later: EventInstance,

@@ -23,12 +23,16 @@ Subcommands
 Engine selection
 ----------------
 Every mining subcommand accepts ``--executor serial|parallel|threads``
-(with ``--workers N`` for the pool size) and ``--support-backend
-bitset|list`` to pick the execution backend and the physical support-set
-representation.  ``--keep-pool`` keeps one persistent worker pool alive
-for the whole command, so multi-level and multi-experiment runs reuse the
-same workers instead of spawning a pool per mining level.  All
-combinations return identical pattern sets.
+(with ``--workers N`` for the pool size), ``--support-backend
+bitset|list`` for the physical support-set representation, and
+``--kernel array|sweep|reference`` for the step-2.2
+instance-enumeration kernel (``array`` = the vectorized bulk-boundary
+engine, the default; ``sweep`` = the columnar tuple sweep join;
+``reference`` = the object-at-a-time parity loops).  ``--keep-pool``
+keeps one persistent worker pool alive for the whole command, so
+multi-level and multi-experiment runs reuse the same workers instead of
+spawning a pool per mining level.  All combinations return identical
+pattern sets.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from repro.core.executor import (
     ParallelExecutor,
     ThreadExecutor,
 )
+from repro.core.instance_index import STEP2_KERNELS
 from repro.core.query import PatternQuery
 from repro.core.stpm import ESTPM
 from repro.core.supportset import SUPPORT_BACKENDS
@@ -99,6 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             choices=sorted(SUPPORT_BACKENDS),
             help="physical support-set representation",
+        )
+        command_parser.add_argument(
+            "--kernel",
+            default=None,
+            choices=sorted(STEP2_KERNELS),
+            help="step-2.2 instance-enumeration kernel: array (vectorized "
+            "bulk boundaries + batched classification, the default), sweep "
+            "(columnar tuple sweep join), or reference (object-at-a-time "
+            "parity loops); all kernels return identical pattern sets",
         )
 
     sub.add_parser("list", help="list experiments and datasets")
@@ -198,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--support-backend", default=None, choices=sorted(SUPPORT_BACKENDS),
         help="physical support-set representation",
     )
+    stream_parser.add_argument(
+        "--kernel", default=None, choices=sorted(STEP2_KERNELS),
+        help="step-2.2 instance-enumeration kernel (array/sweep/reference); "
+        "all kernels return identical pattern sets",
+    )
 
     query_parser = sub.add_parser(
         "query", help="filter an archived results JSON (PatternQuery)"
@@ -285,7 +304,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         spec = _executor_spec(args)
         try:
-            with engine_defaults(spec, args.support_backend):
+            with engine_defaults(spec, args.support_backend, args.kernel):
                 for artifact_id in args.ids:
                     print(run_experiment(artifact_id, profile=args.profile).render())
                     print()
@@ -299,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
                 profile=args.profile,
                 executor=spec,
                 support_backend=args.support_backend,
+                kernel=args.kernel,
                 measure_memory=not args.no_memory,
             )
         finally:
@@ -316,6 +336,7 @@ def main(argv: list[str] | None = None) -> int:
             support_backend=args.support_backend,
             executor=spec,
             n_workers=n_workers,
+            kernel=args.kernel,
         )
         try:
             if args.approximate:
@@ -367,6 +388,7 @@ def _run_multigrain(args) -> int:
         support_backend=args.support_backend,
         executor=spec,
         n_workers=n_workers,
+        kernel=args.kernel,
     )
     try:
         result = miner.mine()
@@ -407,6 +429,7 @@ def _run_stream(args) -> int:
         initial_granules=args.initial_granules,
         support_backend=args.support_backend,
         reanchor_every=args.reanchor_every,
+        kernel=args.kernel,
     ):
         total_seconds += delta.seconds
         print(f"  {delta.describe()}")

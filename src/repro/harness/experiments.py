@@ -22,6 +22,7 @@ from repro.core.config import MiningParams
 from repro.core.executor import MiningExecutor, resolve_executor, set_default_executor
 from repro.core.prune import ALL_VARIANTS
 from repro.core.results import MiningResult
+from repro.core.instance_index import set_default_kernel
 from repro.core.stpm import ESTPM
 from repro.core.supportset import set_default_backend
 from repro.datasets.dataset import Dataset
@@ -46,13 +47,15 @@ DEFAULTS = {"min_season": 6, "min_density_pct": 0.75, "max_period_pct": 0.4}
 def engine_defaults(
     executor: MiningExecutor | str | None = None,
     support_backend: str | None = None,
+    kernel: str | None = None,
 ):
     """Temporarily set the process-wide mining engine defaults.
 
     The experiment functions build their miners internally, so the harness
-    selects the execution backend (``serial`` / ``parallel`` / ``threads``)
-    and the support-set representation (``bitset`` / ``list``) through the
-    process-wide defaults rather than threading two extra parameters
+    selects the execution backend (``serial`` / ``parallel`` / ``threads``),
+    the support-set representation (``bitset`` / ``list``), and the
+    step-2.2 kernel (``array`` / ``sweep`` / ``reference``) through the
+    process-wide defaults rather than threading three extra parameters
     through every experiment signature.  Restores the previous defaults
     on exit.
 
@@ -62,7 +65,7 @@ def engine_defaults(
     instance and closes it on exit.  An executor *instance* is installed
     as-is and left open -- the caller decides when its pool dies.
     """
-    previous_executor = previous_backend = None
+    previous_executor = previous_backend = previous_kernel = None
     owned: MiningExecutor | None = None
     try:
         if executor is not None:
@@ -71,12 +74,16 @@ def engine_defaults(
             previous_executor = set_default_executor(executor)
         if support_backend is not None:
             previous_backend = set_default_backend(support_backend)
+        if kernel is not None:
+            previous_kernel = set_default_kernel(kernel)
         yield
     finally:
         if previous_executor is not None:
             set_default_executor(previous_executor)
         if previous_backend is not None:
             set_default_backend(previous_backend)
+        if previous_kernel is not None:
+            set_default_kernel(previous_kernel)
         if owned is not None:
             owned.close()
 
@@ -708,21 +715,22 @@ def run_experiment(
     profile: str = "bench",
     executor: MiningExecutor | str | None = None,
     support_backend: str | None = None,
+    kernel: str | None = None,
     **overrides,
 ):
     """Run one experiment by its paper artifact id.
 
-    ``executor`` / ``support_backend`` select the mining engine backends
-    for this experiment via :func:`engine_defaults` (an executor resolved
-    from a name is closed when the experiment finishes; an instance's
-    pool is left alive for the caller's next experiment).
+    ``executor`` / ``support_backend`` / ``kernel`` select the mining
+    engine backends for this experiment via :func:`engine_defaults` (an
+    executor resolved from a name is closed when the experiment finishes;
+    an instance's pool is left alive for the caller's next experiment).
     """
     key = artifact_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {artifact_id!r}; choose from {sorted(EXPERIMENTS)}"
         )
-    if executor is None and support_backend is None:
+    if executor is None and support_backend is None and kernel is None:
         return EXPERIMENTS[key](profile=profile, **overrides)
-    with engine_defaults(executor, support_backend):
+    with engine_defaults(executor, support_backend, kernel):
         return EXPERIMENTS[key](profile=profile, **overrides)

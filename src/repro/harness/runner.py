@@ -24,6 +24,7 @@ def run_all(
     stream: TextIO | None = None,
     executor: MiningExecutor | str | None = None,
     support_backend: str | None = None,
+    kernel: str | None = None,
     measure_memory: bool = True,
 ) -> dict[str, str]:
     """Run the requested experiments and return ``{id: rendered_output}``.
@@ -34,8 +35,8 @@ def run_all(
     ``measure_memory=False`` drops the memory column and runs untraced --
     tracemalloc slows allocation-heavy mining, so use that when the
     summary's wall-clock numbers themselves are the point of the run.
-    ``executor`` / ``support_backend`` select the mining engine backends
-    for the whole run (see :func:`engine_defaults`).
+    ``executor`` / ``support_backend`` / ``kernel`` select the mining
+    engine backends for the whole run (see :func:`engine_defaults`).
     """
     stream = stream or sys.stdout
     ids = list(artifact_ids) if artifact_ids is not None else sorted(EXPERIMENTS)
@@ -44,7 +45,7 @@ def run_all(
     if measure_memory:
         headers.append("Peak memory (MB)")
     summary = Table(title=f"Run summary ({profile} profile)", headers=headers)
-    with engine_defaults(executor, support_backend):
+    with engine_defaults(executor, support_backend, kernel):
         for artifact_id in ids:
             started = time.perf_counter()
             if measure_memory:

@@ -133,6 +133,7 @@ class HierarchicalContext:
     miner: str
     event_level: bool
     support_backend: str
+    kernel: str | None = None
 
 
 def mine_level_task(index: int) -> GranularityLevel:
@@ -157,6 +158,7 @@ def mine_level_task(index: int) -> GranularityLevel:
             event_level=context.event_level,
             support_backend=context.support_backend,
             executor=SerialExecutor(),
+            kernel=context.kernel,
         ).mine()
     else:
         result = ESTPM(
@@ -165,6 +167,7 @@ def mine_level_task(index: int) -> GranularityLevel:
             context.pruning,
             support_backend=context.support_backend,
             executor=SerialExecutor(),
+            kernel=context.kernel,
         ).mine()
     return GranularityLevel(
         ratio=job.ratio,
@@ -212,9 +215,10 @@ class HierarchicalMiner:
         measures the fold against).
     legacy_dist_floor:
         Restore the pre-1.3 flooring of the dist upper bound.
-    support_backend / executor / n_workers:
+    support_backend / executor / n_workers / kernel:
         Engine knobs; the executor dispatches *levels* (each level task
-        mines serially inside).
+        mines serially inside), and ``kernel`` picks the step-2.2 kernel
+        (``array`` / ``sweep`` / ``reference``) of every level's miner.
     """
 
     dsyb: SymbolicDatabase
@@ -233,6 +237,7 @@ class HierarchicalMiner:
     support_backend: str | None = None
     executor: MiningExecutor | str | None = None
     n_workers: int | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if not self.ratios:
@@ -388,6 +393,7 @@ class HierarchicalMiner:
             miner=self.miner,
             event_level=self.event_level,
             support_backend=backend,
+            kernel=self.kernel,
         )
         with executor_scope(self.executor, self.n_workers) as runner:
             levels = list(

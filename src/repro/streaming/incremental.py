@@ -21,10 +21,10 @@ appends.  Each :meth:`IncrementalSTPM.advance` call
 Parity guarantee
 ----------------
 Candidacy gates are monotone under appends and the per-granule
-enumeration is shared verbatim with the batch miner
-(:func:`~repro.core.stpm.collect_pair_patterns` /
-:func:`~repro.core.stpm.extend_group_patterns`, i.e. the columnar
-sweep-join kernels -- the maintained assignments use the same compact
+enumeration is shared verbatim with the batch miner (the step-2.2
+kernel registry of :func:`~repro.core.stpm.kernel_functions`; the
+``kernel`` knob picks ``array`` / ``sweep`` / ``reference`` exactly as
+in batch -- the maintained assignments use the same compact
 column-index encoding), so after any prefix the
 maintained state matches what batch E-STPM (full pruning, the default)
 builds on that prefix.  :meth:`IncrementalSTPM.result` therefore returns
@@ -51,7 +51,8 @@ from repro.core.results import (
     results_equivalent,
 )
 from repro.core.seasonality import SeasonView, is_candidate
-from repro.core.stpm import ESTPM, collect_pair_patterns, extend_group_patterns
+from repro.core.instance_index import default_kernel, validate_kernel
+from repro.core.stpm import ESTPM, kernel_functions
 from repro.core.supportset import default_backend, validate_backend
 from repro.events.sequence import TemporalSequence
 from repro.exceptions import MiningError
@@ -135,6 +136,10 @@ class IncrementalSTPM:
         Physical support-set representation of the maintained state
         (``"bitset"`` / ``"list"``; ``None`` = process default).  Both
         backends produce identical results.
+    kernel:
+        Step-2.2 kernel driving the incremental instance enumeration
+        (``"array"`` / ``"sweep"`` / ``"reference"``; ``None`` = process
+        default).  All kernels produce identical results.
     reanchor_every:
         If set, every N-th advance re-mines the full prefix with batch
         E-STPM and raises :class:`MiningError` on any divergence -- the
@@ -149,10 +154,12 @@ class IncrementalSTPM:
     params: MiningParams
     support_backend: str | None = None
     reanchor_every: int | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         backend = validate_backend(self.support_backend or default_backend())
         self.support_backend = backend
+        self.kernel = validate_kernel(self.kernel or default_kernel())
         self.state = MinerState(params=self.params, backend=backend)
         self.n_advances = 0
 
@@ -163,6 +170,7 @@ class IncrementalSTPM:
         params: MiningParams,
         support_backend: str | None = None,
         reanchor_every: int | None = None,
+        kernel: str | None = None,
     ) -> "IncrementalSTPM":
         """A miner over a fresh, empty DSEQ with the given mapping ratio."""
         return cls(
@@ -170,6 +178,7 @@ class IncrementalSTPM:
             params,
             support_backend=support_backend,
             reanchor_every=reanchor_every,
+            kernel=kernel,
         )
 
     @property
@@ -329,7 +338,8 @@ class IncrementalSTPM:
         support_out: dict[TemporalPattern, list[int]] = {}
         assignments_out: dict[TemporalPattern, dict] = {}
         event_a, event_b = gs.group
-        collect_pair_patterns(
+        collect = kernel_functions(self.kernel)[0]
+        collect(
             self.state.hlh1, event_a, event_b, granules,
             self.params.relation, support_out, assignments_out,
         )
@@ -493,7 +503,8 @@ class IncrementalSTPM:
     ) -> None:
         """Run the shared extension loop and merge its outcomes."""
         state = self.state
-        support_out, assignments_out = extend_group_patterns(
+        extend = kernel_functions(self.kernel)[1]
+        support_out, assignments_out = extend(
             state.hlh1,
             state.mirror(k - 1),
             entry_prev,
@@ -691,7 +702,8 @@ class IncrementalSTPM:
         (which would be a bug -- this is the subsystem's hard guarantee).
         """
         batch = ESTPM(
-            self.dseq, self.params, support_backend=self.support_backend
+            self.dseq, self.params,
+            support_backend=self.support_backend, kernel=self.kernel,
         ).mine()
         streaming = self.result()
         if not results_equivalent(streaming, batch):

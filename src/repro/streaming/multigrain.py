@@ -41,6 +41,7 @@ class _CoarseLevel:
         params: MiningParams,
         support_backend: str | None,
         reanchor_every: int | None,
+        kernel: str | None = None,
     ):
         self.ratio = ratio
         self.factor = factor
@@ -50,6 +51,7 @@ class _CoarseLevel:
             params,
             support_backend=support_backend,
             reanchor_every=reanchor_every,
+            kernel=kernel,
         )
 
     def advance(self, fine_dseq: TemporalSequenceDatabase) -> PatternDelta:
@@ -83,7 +85,7 @@ class MultiGrainStreamingService:
     symbolizer:
         Optional online symbolizer; required for :meth:`push` (raw
         points).  :meth:`push_symbols` works without one.
-    support_backend / reanchor_every:
+    support_backend / reanchor_every / kernel:
         Forwarded to every level's :class:`IncrementalSTPM`.
     """
 
@@ -94,6 +96,7 @@ class MultiGrainStreamingService:
         symbolizer: StreamingSymbolizer | None = None,
         support_backend: str | None = None,
         reanchor_every: int | None = None,
+        kernel: str | None = None,
     ):
         base = database.ratio
         if base not in params_by_ratio:
@@ -109,6 +112,7 @@ class MultiGrainStreamingService:
             params_by_ratio[base],
             support_backend=support_backend,
             reanchor_every=reanchor_every,
+            kernel=kernel,
         )
         self._coarse: dict[int, _CoarseLevel] = {}
         for ratio in sorted(params_by_ratio):
@@ -125,6 +129,7 @@ class MultiGrainStreamingService:
                 params=params_by_ratio[ratio],
                 support_backend=support_backend,
                 reanchor_every=reanchor_every,
+                kernel=kernel,
             )
         # Consume anything already materialized (warm starts).
         if len(database.dseq):

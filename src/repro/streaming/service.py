@@ -34,7 +34,7 @@ class StreamingMiningService:
     symbolizer:
         Optional online symbolizer; required for :meth:`push` (raw
         points).  :meth:`push_symbols` works without one.
-    support_backend / reanchor_every:
+    support_backend / reanchor_every / kernel:
         Forwarded to :class:`IncrementalSTPM`.
     """
 
@@ -45,6 +45,7 @@ class StreamingMiningService:
         symbolizer: StreamingSymbolizer | None = None,
         support_backend: str | None = None,
         reanchor_every: int | None = None,
+        kernel: str | None = None,
     ):
         self.database = database
         self.symbolizer = symbolizer
@@ -63,6 +64,7 @@ class StreamingMiningService:
             params,
             support_backend=support_backend,
             reanchor_every=reanchor_every,
+            kernel=kernel,
         )
         # Consume anything already materialized (warm starts / restores).
         if len(database.dseq):
@@ -135,6 +137,7 @@ def replay_dataset(
     initial_granules: int | None = None,
     support_backend: str | None = None,
     reanchor_every: int | None = None,
+    kernel: str | None = None,
 ) -> Iterator[tuple[StreamingMiningService, PatternDelta]]:
     """Replay a registered dataset's symbol stream through a live service.
 
@@ -166,6 +169,7 @@ def replay_dataset(
         params,
         support_backend=support_backend,
         reanchor_every=reanchor_every,
+        kernel=kernel,
     )
     streams = {series.name: series.symbols for series in dataset.dsyb}
     n_instants = dataset.dsyb.n_instants

@@ -78,3 +78,59 @@ class TestWithUpdates:
         assert swept.min_season == 5
         assert swept.max_period == 2
         assert params.min_season == 2  # original untouched
+
+
+class TestComputeBackend:
+    """The numpy-optional compute-backend switch of the array kernels."""
+
+    def test_validate_rejects_unknown(self):
+        from repro.core.config import validate_compute_backend
+
+        assert validate_compute_backend("auto") == "auto"
+        with pytest.raises(ConfigError):
+            validate_compute_backend("cupy")
+
+    def test_python_backend_disables_numpy(self):
+        from repro.core.config import (
+            compute_backend,
+            get_numpy,
+            set_compute_backend,
+        )
+
+        previous = set_compute_backend("python")
+        try:
+            assert compute_backend() == "python"
+            assert get_numpy() is None
+        finally:
+            set_compute_backend(previous)
+
+    def test_environment_override(self, monkeypatch):
+        from repro.core import config
+        from repro.core.config import (
+            COMPUTE_ENV_VAR,
+            compute_backend,
+            get_numpy,
+            set_compute_backend,
+        )
+
+        previous = set_compute_backend(None)
+        monkeypatch.setenv(COMPUTE_ENV_VAR, "python")
+        monkeypatch.setattr(config, "_NUMPY_MODULE", ...)
+        try:
+            assert compute_backend() == "python"
+            assert get_numpy() is None
+        finally:
+            set_compute_backend(previous)
+
+    def test_numpy_backend_when_available(self):
+        from repro.core.config import get_numpy, set_compute_backend
+
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            pytest.skip("numpy not installed in this environment")
+        previous = set_compute_backend("numpy")
+        try:
+            assert get_numpy() is not None
+        finally:
+            set_compute_backend(previous)

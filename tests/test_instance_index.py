@@ -156,6 +156,7 @@ class TestInterning:
         assert not instance_index._TRIPLE_CACHE
 
     def test_validate_kernel(self):
+        assert validate_kernel("array") == "array"
         assert validate_kernel("sweep") == "sweep"
         assert validate_kernel("reference") == "reference"
         with pytest.raises(ConfigError):
@@ -248,7 +249,7 @@ class TestSelfPairPaths:
 
 
 class TestKernelParity:
-    """Sweep == reference on all seed datasets x miners x executors."""
+    """Array == sweep == reference on all seed datasets x miners x executors."""
 
     @pytest.fixture(scope="class")
     def pool(self):
@@ -265,6 +266,8 @@ class TestKernelParity:
         baseline = ESTPM(dseq, params, kernel="reference").mine()
         assert baseline.patterns, f"parity run on {name} mined nothing"
         for kernel, executor in (
+            ("array", "serial"),
+            ("array", pool),
             ("sweep", "serial"),
             ("sweep", pool),
             ("reference", pool),
@@ -283,6 +286,8 @@ class TestKernelParity:
             dataset.dsyb, dataset.ratio, params, dseq=dseq, kernel="reference"
         ).mine()
         for kernel, executor in (
+            ("array", "serial"),
+            ("array", pool),
             ("sweep", "serial"),
             ("sweep", pool),
             ("reference", pool),

@@ -3,6 +3,10 @@
 The bitset representation must be observationally equivalent to the
 classical sorted-list algebra on every operation the miners use:
 intersection, cardinality, ascending iteration, membership, equality.
+The machine-word kernels (``bit_positions`` / ``coarsen_bits`` /
+``_pack_bits`` and the vectorized ``coarsen_positions``) must match
+their scalar reference semantics on masks straddling the small/large
+cutovers and on every compute backend.
 """
 
 import pickle
@@ -11,16 +15,24 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.config import set_compute_backend
 from repro.core.support import intersect_sorted
 from repro.core.supportset import (
+    _COARSEN_CHUNK,
+    _NUMPY_MIN_POSITIONS,
+    _SMALL_BITS,
     BACKEND_BITSET,
     BACKEND_LIST,
     SUPPORT_BACKENDS,
     BitsetSupportSet,
     ListSupportSet,
     SupportSet,
+    _pack_bits,
     as_positions,
     as_support_list,
+    bit_positions,
+    coarsen_bits,
+    coarsen_positions,
     coerce_support_set,
     default_backend,
     make_support_set,
@@ -177,3 +189,114 @@ class TestUnits:
             base.positions()
         with pytest.raises(NotImplementedError):
             len(base)
+
+
+# ---------------------------------------------------------------------------
+# Machine-word kernels vs their scalar reference semantics
+# ---------------------------------------------------------------------------
+
+#: Position lists that straddle the small/large cutovers of the chunked
+#: kernels: masks shorter and longer than ``_SMALL_BITS`` bits, position
+#: lists shorter and longer than ``_NUMPY_MIN_POSITIONS``, and chunk
+#: boundaries of ``_COARSEN_CHUNK`` coarse granules.
+kernel_positions = st.lists(
+    st.one_of(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=_SMALL_BITS - 64, max_value=_SMALL_BITS + 64),
+        st.integers(min_value=1, max_value=4 * _SMALL_BITS),
+    ),
+    unique=True,
+    max_size=80,
+).map(sorted)
+
+coarsen_factors = st.integers(min_value=1, max_value=9)
+granule_caps = st.one_of(
+    st.none(), st.integers(min_value=0, max_value=2 * _SMALL_BITS)
+)
+
+
+def _reference_coarse(positions, factor, n_granules):
+    """Scalar semantics reference: fine p -> (p - 1) // factor + 1."""
+    coarse = sorted({(p - 1) // factor + 1 for p in positions})
+    if n_granules is not None:
+        coarse = [q for q in coarse if q <= n_granules]
+    return coarse
+
+
+@given(kernel_positions)
+@settings(max_examples=150, deadline=None)
+def test_pack_bits_and_bit_positions_roundtrip(positions):
+    bits = _pack_bits(positions)
+    assert bits == sum(1 << p for p in positions)
+    assert bit_positions(bits) == positions
+
+
+@given(kernel_positions, coarsen_factors, granule_caps)
+@settings(max_examples=200, deadline=None)
+def test_coarsen_bits_matches_scalar_semantics(positions, factor, n_granules):
+    expected = _reference_coarse(positions, factor, n_granules)
+    folded = coarsen_bits(_pack_bits(positions), factor, n_granules)
+    assert bit_positions(folded) == expected
+
+
+@given(kernel_positions, coarsen_factors, granule_caps)
+@settings(max_examples=150, deadline=None)
+def test_coarsen_positions_matches_scalar_semantics(positions, factor, n_granules):
+    expected = _reference_coarse(positions, factor, n_granules)
+    assert coarsen_positions(positions, factor, n_granules) == expected
+    # Non-list iterables are accepted too.
+    assert coarsen_positions(iter(positions), factor, n_granules) == expected
+
+
+@given(kernel_positions, coarsen_factors, granule_caps)
+@settings(max_examples=100, deadline=None)
+def test_supportset_coarsen_agrees_across_backends(positions, factor, n_granules):
+    expected = _reference_coarse(positions, factor, n_granules)
+    for backend in SUPPORT_BACKENDS:
+        folded = make_support_set(positions, backend).coarsen(factor, n_granules)
+        assert folded.backend == backend
+        assert list(folded) == expected
+
+
+@pytest.mark.parametrize("backend", ["python", "auto"])
+def test_long_coarsen_positions_on_both_compute_backends(backend):
+    """The numpy stride-merge (when enabled) and the scalar loop agree on
+    inputs past the ``_NUMPY_MIN_POSITIONS`` vectorization threshold."""
+    positions = [3 * i + 1 for i in range(2 * _NUMPY_MIN_POSITIONS)]
+    expected = _reference_coarse(positions, 5, None)
+    capped = _reference_coarse(positions, 5, 100)
+    previous = set_compute_backend(backend)
+    try:
+        assert coarsen_positions(positions, 5, None) == expected
+        assert coarsen_positions(positions, 5, 100) == capped
+    finally:
+        set_compute_backend(previous)
+
+
+def test_large_mask_kernels_cross_chunk_boundaries():
+    """One deterministic case pinning the chunked large-mask paths: every
+    coarse chunk boundary of ``coarsen_bits`` and every 64-bit word
+    boundary of ``bit_positions`` is straddled."""
+    factor = 3
+    positions = list(range(1, factor * _COARSEN_CHUNK * 3 + 7, 2))
+    bits = _pack_bits(positions)
+    assert bits.bit_length() > _SMALL_BITS
+    assert bit_positions(bits) == positions
+    for n_granules in (None, _COARSEN_CHUNK - 1, _COARSEN_CHUNK, 2 * _COARSEN_CHUNK + 5):
+        assert bit_positions(coarsen_bits(bits, factor, n_granules)) == (
+            _reference_coarse(positions, factor, n_granules)
+        )
+
+
+def test_pack_bits_rejects_negative_positions():
+    with pytest.raises(ConfigError):
+        _pack_bits([4, -1])
+    with pytest.raises(ConfigError):
+        BitsetSupportSet.from_positions([-2])
+
+
+def test_coarsen_rejects_bad_factor():
+    with pytest.raises(ConfigError):
+        coarsen_bits(0b10, 0)
+    with pytest.raises(ConfigError):
+        coarsen_positions([1], -1)
