@@ -7,12 +7,36 @@ import platform
 import sys
 from pathlib import Path
 
+from repro.obs.counters import MetricRegistry, capture
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Counters accumulated by :func:`run_once` since the last
+#: :func:`record_benchmark_json` call.  One registry per EXT module in a
+#: normal ``pytest benchmarks/bench_extN.py`` invocation; in a combined
+#: session the record call drains whatever accumulated since the
+#: previous record, so counters stay attributable per suite as long as
+#: each suite records once at the end (which they all do).
+_BENCH_REGISTRY = MetricRegistry()
 
 
 def run_once(benchmark, fn):
-    """Run an experiment exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    """Run an experiment exactly once under the benchmark timer.
+
+    The timed call runs with mining counters captured; the captured
+    snapshot is merged into the module registry that
+    :func:`record_benchmark_json` embeds (and drains) on its next call.
+    Tracing stays off -- counters are cheap dict increments, span trees
+    are not worth distorting a benchmark for.
+    """
+
+    def instrumented():
+        with capture() as registry:
+            outcome = fn()
+        _BENCH_REGISTRY.merge(registry.snapshot())
+        return outcome
+
+    return benchmark.pedantic(instrumented, rounds=1, iterations=1, warmup_rounds=0)
 
 
 def series_means(figure) -> dict[str, float]:
@@ -32,8 +56,15 @@ def record_benchmark_json(ext: str, run: dict) -> Path:
     (runs of the same name replace each other -- parametrized bench tests
     each record their own regime), the workload identity, and the
     measured wall-clocks/speedups; anything JSON-serializable goes
-    through untouched.
+    through untouched.  The mining counters accumulated by
+    :func:`run_once` since the previous record are embedded under
+    ``"counters"`` (then drained), so the EXT record shows not just how
+    long the suite took but how much work the kernels actually did.
     """
+    counters = _BENCH_REGISTRY.snapshot()
+    _BENCH_REGISTRY.clear()
+    if counters["counters"] or counters["gauges"] or counters["histograms"]:
+        run = {**run, "counters": counters}
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{ext}.json"
     runs: list[dict] = []

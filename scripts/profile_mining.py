@@ -74,7 +74,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also dump raw pstats data to this file (for snakeviz etc.)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also record the span/counter telemetry of the profiled run "
+        "and write the trace JSON here (phase attribution to complement "
+        "the function-level cProfile view)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        from repro.obs import enable_telemetry, reset_telemetry
+
+        reset_telemetry()
+        enable_telemetry()
 
     profiler = cProfile.Profile()
     profiler.enable()
@@ -85,6 +100,17 @@ def main(argv: list[str] | None = None) -> int:
         support_backend=args.support_backend,
     )
     profiler.disable()
+
+    if args.trace is not None:
+        from repro.obs import disable_telemetry, summary, write_trace
+
+        write_trace(
+            args.trace,
+            command=f"profile_mining {args.artifact_id} --profile {args.profile}",
+            counters=summary(),
+        )
+        disable_telemetry()
+        print(f"trace written to {args.trace}", file=sys.stderr)
 
     stats = pstats.Stats(profiler)
     if args.output is not None:

@@ -31,6 +31,8 @@ from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult
 from repro.core.stpm import ESTPM
 from repro.exceptions import MiningError
+from repro.obs import counters as metrics
+from repro.obs.trace import span
 from repro.symbolic.database import SymbolicDatabase
 from repro.transform.sequence_db import TemporalSequenceDatabase, build_sequence_database
 
@@ -174,31 +176,40 @@ class ASTPM:
         """
         if len(self.dsyb) == 0:
             raise MiningError("cannot mine an empty DSYB")
-        dseq = self.dseq or build_sequence_database(self.dsyb, self.ratio)
-        report = screen_correlated_series(self.dsyb, self.params, len(dseq))
-        event_filter = None
-        if self.event_level:
-            event_filter = screen_events(self.dsyb, self.params, len(dseq), report)
-        # Alg. 2 line 7 iterates pairs *of XC*: once a series survives the
-        # MI screening it participates in every 2-event group with other
-        # survivors, so only the series filter applies here.  The executor
-        # is resolved once and handed to the inner engine as an instance,
-        # so a pool-backed backend spawns (and, for name specs, closes)
-        # exactly one pool per A-STPM job.
-        with executor_scope(self.executor, self.n_workers) as runner:
-            miner = ESTPM(
-                dseq,
-                self.params,
-                self.pruning,
-                series_filter=set(report.correlated_series),
-                event_filter=event_filter,
-                support_backend=self.support_backend,
-                executor=runner,
-                kernel=self.kernel,
-            )
-            result = miner.mine()
-        result.stats.mi_seconds = report.mi_seconds
-        result.stats.n_series_pruned = report.n_pruned_series
+        with span("astpm/mine", ratio=self.ratio):
+            dseq = self.dseq or build_sequence_database(self.dsyb, self.ratio)
+            with span("astpm/mi_screening") as screen_span:
+                report = screen_correlated_series(self.dsyb, self.params, len(dseq))
+                event_filter = None
+                if self.event_level:
+                    event_filter = screen_events(
+                        self.dsyb, self.params, len(dseq), report
+                    )
+                screen_span.set(
+                    correlated_series=len(report.correlated_series),
+                    pruned_series=report.n_pruned_series,
+                )
+            metrics.inc("astpm.series_pruned", report.n_pruned_series)
+            # Alg. 2 line 7 iterates pairs *of XC*: once a series survives
+            # the MI screening it participates in every 2-event group with
+            # other survivors, so only the series filter applies here.  The
+            # executor is resolved once and handed to the inner engine as
+            # an instance, so a pool-backed backend spawns (and, for name
+            # specs, closes) exactly one pool per A-STPM job.
+            with executor_scope(self.executor, self.n_workers) as runner:
+                miner = ESTPM(
+                    dseq,
+                    self.params,
+                    self.pruning,
+                    series_filter=set(report.correlated_series),
+                    event_filter=event_filter,
+                    support_backend=self.support_backend,
+                    executor=runner,
+                    kernel=self.kernel,
+                )
+                result = miner.mine()
+            result.stats.mi_seconds = report.mi_seconds
+            result.stats.n_series_pruned = report.n_pruned_series
         return result
 
     def screening(self) -> CorrelationReport:

@@ -58,6 +58,7 @@ from repro.core.instance_index import (
 )
 from repro.core.pattern import TemporalPattern, Triple, splice_triples
 from repro.events.relations import CONTAINS, FOLLOWS, OVERLAPS, relation_masks_of_bounds
+from repro.obs import counters as metrics
 
 #: Verdict sentinel: "computed, and no (allowed) relation holds".  Local
 #: to this module; rows never leave the kernel, so the sweep kernel's
@@ -218,10 +219,12 @@ def _pair_join_numpy(
         bucket_of((FOLLOWS, event_a, event_b), granule).add_bulk_after(
             tail.tolist(), n_b, after_total
         )
+    metrics.inc("kernel.pairs.bulk", before_total + after_total)
     near = _expand_ranges(np, head, tail)
     if near is None:
         return
     i_rep, j_flat = near
+    metrics.inc("kernel.pairs.near_classified", len(i_rep))
     s_i, e_i = sa[i_rep], ea[i_rep]
     s_j, e_j = sb[j_flat], eb[j_flat]
     a_first = (s_i < s_j) | (
@@ -257,10 +260,12 @@ def _self_join_numpy(
         bucket_of((FOLLOWS, event, event), granule).add_bulk_after(
             tail.tolist(), n, after_total
         )
+    metrics.inc("kernel.pairs.bulk", after_total)
     near = _expand_ranges(np, index + 1, tail)
     if near is None:
         return
     i_rep, j_flat = near
+    metrics.inc("kernel.pairs.near_classified", len(i_rep))
     contains, follows, overlaps = relation_masks_of_bounds(
         np, starts[i_rep], ends[i_rep], starts[j_flat], ends[j_flat],
         epsilon, min_overlap,
@@ -347,6 +352,11 @@ def _pair_join_python(
         _local(follows_ba).add_bulk_before(heads, before_total)
     if after_total:
         _local(follows_ab).add_bulk_after(tails, n_b, after_total)
+    if metrics.metrics_enabled():
+        metrics.inc("kernel.pairs.bulk", before_total + after_total)
+        metrics.inc(
+            "kernel.pairs.near_classified", sum(tails) - sum(heads)
+        )
 
 
 def _self_join_python(
@@ -394,6 +404,11 @@ def _self_join_python(
             _local((rel, event, event)).append((i, j))
     if after_total:
         _local((FOLLOWS, event, event)).add_bulk_after(tails, n, after_total)
+    if metrics.metrics_enabled():
+        metrics.inc("kernel.pairs.bulk", after_total)
+        metrics.inc(
+            "kernel.pairs.near_classified", sum(tails) - n * (n + 1) // 2
+        )
 
 
 # ---------------------------------------------------------------------------

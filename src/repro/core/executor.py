@@ -73,10 +73,15 @@ import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
+from functools import partial
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.instance_index import clear_intern_caches
 from repro.exceptions import ConfigError
+from repro.obs import counters as metrics
+from repro.obs.logging import get_logger
+
+logger = get_logger(__name__)
 
 #: Executor names accepted wherever a backend can be chosen.
 EXECUTOR_SERIAL = "serial"
@@ -229,6 +234,35 @@ def _release_pool(pool) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
+# ---------------------------------------------------------------------------
+# Cross-process metric shipping
+# ---------------------------------------------------------------------------
+
+
+def _call_with_metrics(fn: Callable[[Any], Any], task: Any) -> tuple[Any, dict]:
+    """Worker-side task wrapper: run one task under a fresh metric
+    capture and ship ``(outcome, metric snapshot)`` back to the parent.
+
+    Module-level (and wrapped via :func:`functools.partial`) so the
+    envelope pickles under every start method.  :func:`~repro.obs.counters.capture`
+    force-enables metrics in the worker, so spawn-started workers --
+    which do not inherit the parent's enabled flag -- still count.
+    """
+    with metrics.capture() as registry:
+        outcome = fn(task)
+    return outcome, registry.snapshot()
+
+
+def _merge_enveloped(results: list[tuple[Any, dict]]) -> list[Any]:
+    """Unwrap enveloped outcomes in order, merging each worker snapshot
+    into the parent's (caller-thread) registry."""
+    outcomes = []
+    for outcome, snapshot in results:
+        metrics.merge(snapshot)
+        outcomes.append(outcome)
+    return outcomes
+
+
 class ParallelExecutor(MiningExecutor):
     """Process-pool execution with a reusable pool and chunked batching.
 
@@ -323,6 +357,17 @@ class ParallelExecutor(MiningExecutor):
             # Safety net: release the workers at GC / interpreter exit
             # even if the owner forgot to close().
             self._finalizer = weakref.finalize(self, _release_pool, self._pool)
+            metrics.inc("executor.pool_spawns")
+            logger.info(
+                "process pool spawned",
+                extra={
+                    "workers": self.max_workers,
+                    "start_method": self._effective_start_method(),
+                    "persistent": True,
+                },
+            )
+        else:
+            metrics.inc("executor.pool_reuses")
         return self._pool
 
     def close(self) -> None:
@@ -333,6 +378,8 @@ class ParallelExecutor(MiningExecutor):
                 self._finalizer.detach()
                 self._finalizer = None
             pool.shutdown(wait=True, cancel_futures=True)
+            metrics.inc("executor.pool_closes")
+            logger.info("process pool closed", extra={"workers": self.max_workers})
 
     def release_context(self) -> None:
         """Broadcast an empty context so idle workers pin no mining state."""
@@ -354,6 +401,11 @@ class ParallelExecutor(MiningExecutor):
         up, so the subsequent chunked map never waits on a cold start.
         """
         blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+        metrics.inc("executor.broadcasts")
+        logger.debug(
+            "context broadcast",
+            extra={"bytes": len(blob), "workers": self.max_workers},
+        )
         futures = [
             pool.submit(_receive_context, blob) for _ in range(self.max_workers)
         ]
@@ -373,25 +425,50 @@ class ParallelExecutor(MiningExecutor):
         or pool initializer in per-call mode) and is replaced by the next
         call's broadcast; the parent process buffers only the outcomes.
         """
-        if len(tasks) < self.min_tasks or self.max_workers == 1:
+        n_tasks = len(tasks)
+        if n_tasks < self.min_tasks or self.max_workers == 1:
+            metrics.inc("executor.serial_fallbacks")
             return SerialExecutor().map_tasks(fn, tasks, context)
+        # Cross-process metric shipping: when the parent records metrics,
+        # each task runs enveloped in a worker-side capture and the
+        # parent merges the returned snapshots.  When metrics are off the
+        # bare fn is shipped -- the dispatch path is unchanged.
+        track = metrics.metrics_enabled()
+        call = partial(_call_with_metrics, fn) if track else fn
+        chunk = self._chunk(n_tasks)
+        if track:
+            metrics.inc("executor.map_calls")
+            metrics.inc("executor.tasks_dispatched", n_tasks)
+            metrics.observe("executor.chunk_size", chunk)
+        logger.debug(
+            "dispatching tasks",
+            extra={
+                "backend": self.name,
+                "tasks": n_tasks,
+                "chunk": chunk,
+                "workers": self.max_workers,
+            },
+        )
         if not self.reuse_pool:
+            metrics.inc("executor.pool_spawns")
             with ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(tasks)),
+                max_workers=min(self.max_workers, n_tasks),
                 mp_context=self._mp_context(),
                 initializer=_set_task_context,
                 initargs=(context,),
             ) as pool:
-                return list(pool.map(fn, tasks, chunksize=self._chunk(len(tasks))))
+                results = list(pool.map(call, tasks, chunksize=chunk))
+            return _merge_enveloped(results) if track else results
         pool = self._ensure_pool()
         try:
             self._broadcast(pool, context)
-            return list(pool.map(fn, tasks, chunksize=self._chunk(len(tasks))))
+            results = list(pool.map(call, tasks, chunksize=chunk))
         except Exception:
             # A broken pool (dead worker, broken barrier) cannot be
             # reused; release it so the next call starts clean.
             self.close()
             raise
+        return _merge_enveloped(results) if track else results
 
 
 class ThreadExecutor(MiningExecutor):
@@ -436,6 +513,12 @@ class ThreadExecutor(MiningExecutor):
                 max_workers=self.max_workers, thread_name_prefix="repro-mine"
             )
             self._finalizer = weakref.finalize(self, _release_pool, self._pool)
+            metrics.inc("executor.pool_spawns")
+            logger.info(
+                "thread pool spawned", extra={"workers": self.max_workers}
+            )
+        else:
+            metrics.inc("executor.pool_reuses")
         return self._pool
 
     def close(self) -> None:
@@ -446,24 +529,47 @@ class ThreadExecutor(MiningExecutor):
                 self._finalizer.detach()
                 self._finalizer = None
             pool.shutdown(wait=True, cancel_futures=True)
+            metrics.inc("executor.pool_closes")
+            logger.info("thread pool closed", extra={"workers": self.max_workers})
 
     def map_tasks(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any], context: Any
     ) -> Iterable[Any]:
         """Fan the tasks out over worker threads, preserving order."""
-        if len(tasks) < self.min_tasks or self.max_workers == 1:
+        n_tasks = len(tasks)
+        if n_tasks < self.min_tasks or self.max_workers == 1:
+            metrics.inc("executor.serial_fallbacks")
             return SerialExecutor().map_tasks(fn, tasks, context)
         pool = self._ensure_pool()
+        # Worker threads record into their own thread-local registries,
+        # so metric shipping works exactly like the process pool's: each
+        # task runs under a capture and the caller thread merges the
+        # snapshots in task order.
+        track = metrics.metrics_enabled()
+        if track:
+            metrics.inc("executor.map_calls")
+            metrics.inc("executor.tasks_dispatched", n_tasks)
+        logger.debug(
+            "dispatching tasks",
+            extra={
+                "backend": self.name,
+                "tasks": n_tasks,
+                "workers": self.max_workers,
+            },
+        )
 
         def run(task: Any) -> Any:
             previous = get_task_context()
             _set_task_context(context)
             try:
+                if track:
+                    return _call_with_metrics(fn, task)
                 return fn(task)
             finally:
                 _set_task_context(previous)
 
-        return list(pool.map(run, tasks))
+        results = list(pool.map(run, tasks))
+        return _merge_enveloped(results) if track else results
 
 
 #: Process-wide default backend (see :func:`set_default_executor`).

@@ -94,6 +94,8 @@ from repro.core.supportset import (
 )
 from repro.events.relations import CONTAINS, FOLLOWS, OVERLAPS
 from repro.exceptions import MiningError
+from repro.obs import counters as metrics
+from repro.obs.trace import span
 from repro.transform.sequence_db import TemporalSequenceDatabase
 
 #: Cache sentinel of the extension kernel's per-granule relation cache:
@@ -225,6 +227,12 @@ def collect_pair_patterns(
     same = event_a == event_b
     follows_ab = (FOLLOWS, event_a, event_b)
     follows_ba = (FOLLOWS, event_b, event_a)
+    # Telemetry: bulk vs near-window classification split.  One flag
+    # read per call; the per-``i`` accumulations below only run when
+    # metrics are enabled, keeping the disabled hot loop untouched.
+    track = metrics.metrics_enabled()
+    n_bulk = 0
+    n_near = 0
     for granule in granules:
         column_a = hlh1.column_of(event_a, granule)
         n_a = len(column_a.starts)
@@ -248,6 +256,9 @@ def collect_pair_patterns(
                 threshold = end_i + epsilon + 1
                 while tail < n_a and starts_a[tail] < threshold:
                     tail += 1
+                if track:
+                    n_near += tail - (i + 1)
+                    n_bulk += n_a - tail
                 for j in range(i + 1, tail):
                     start_j = starts_a[j]
                     end_j = ends_a[j]
@@ -296,6 +307,9 @@ def collect_pair_patterns(
                 tail = head
             while tail < n_b and starts_b[tail] < threshold:
                 tail += 1
+            if track:
+                n_near += tail - head
+                n_bulk += head + (n_b - tail)
             if head:
                 bucket = buckets.get(follows_ba)
                 if bucket is None:
@@ -336,6 +350,9 @@ def collect_pair_patterns(
                 if bucket is None:
                     bucket = buckets[follows_ab] = _bucket(follows_ab, granule)
                 bucket.extend([(i, j) for j in range(tail, n_b)])
+    if track and (n_bulk or n_near):
+        metrics.inc("kernel.pairs.bulk", n_bulk)
+        metrics.inc("kernel.pairs.near_classified", n_near)
 
 
 def mine_pair_task(task: tuple[str, str]) -> GroupOutcome:
@@ -349,8 +366,13 @@ def mine_pair_task(task: tuple[str, str]) -> GroupOutcome:
     event_a, event_b = task
     hlh1 = context.hlh1
     params = context.params
+    track = metrics.metrics_enabled()
     support = hlh1.support_of(event_a) & hlh1.support_of(event_b)
+    if track:
+        metrics.inc("mine.groups.pair")
+        metrics.inc("mine.support.intersections")
     if context.apriori and not is_candidate(len(support), params):
+        metrics.inc("mine.groups.gate_rejected")
         return GroupOutcome((event_a, event_b), None, {}, {})
     pattern_support: dict[TemporalPattern, list[int]] = {}
     pattern_assignments: dict[TemporalPattern, dict[int, list[Assignment]]] = {}
@@ -359,6 +381,17 @@ def mine_pair_task(task: tuple[str, str]) -> GroupOutcome:
         hlh1, event_a, event_b, support, params.relation,
         pattern_support, pattern_assignments,
     )
+    if track:
+        # LazyAssignments reports its length without materializing, so
+        # this total is O(#buckets), not O(#pairs).
+        metrics.inc(
+            "mine.pairs.recorded",
+            sum(
+                len(bucket)
+                for by_granule in pattern_assignments.values()
+                for bucket in by_granule.values()
+            ),
+        )
     return GroupOutcome((event_a, event_b), support, pattern_support, pattern_assignments)
 
 
@@ -373,8 +406,13 @@ def mine_extension_task(task: tuple[tuple[str, ...], str]) -> GroupOutcome:
     group_prev, event = task
     entry_prev = context.previous.ehk[group_prev]
     group = tuple(sorted(group_prev + (event,)))
+    track = metrics.metrics_enabled()
     support = entry_prev.support & context.hlh1.support_of(event)
+    if track:
+        metrics.inc("mine.groups.extension")
+        metrics.inc("mine.support.intersections")
     if context.apriori and not is_candidate(len(support), context.params):
+        metrics.inc("mine.groups.gate_rejected")
         return GroupOutcome(group, None, {}, {})
     extend = kernel_functions(context.kernel)[1]
     pattern_support, pattern_assignments = extend(
@@ -386,6 +424,15 @@ def mine_extension_task(task: tuple[tuple[str, ...], str]) -> GroupOutcome:
         context.params,
         context.apriori,
     )
+    if track:
+        metrics.inc(
+            "mine.extensions.recorded",
+            sum(
+                len(bucket)
+                for by_granule in pattern_assignments.values()
+                for bucket in by_granule.values()
+            ),
+        )
     return GroupOutcome(group, support, pattern_support, pattern_assignments)
 
 
@@ -708,25 +755,42 @@ class ESTPM:
         stats = MiningStats(n_granules=len(self.dseq))
         patterns: list[SeasonalPattern] = []
 
-        with executor_scope(self.executor, self.n_workers) as runner:
-            hlh1 = self._mine_single_events(backend, patterns, stats)
+        with span(
+            "estpm/mine", granules=len(self.dseq), kernel=kernel, backend=backend
+        ) as mine_span, executor_scope(self.executor, self.n_workers) as runner:
+            with span("estpm/step2.1") as step21:
+                hlh1 = self._mine_single_events(backend, patterns, stats)
+                step21.set(
+                    candidates=len(hlh1),
+                    frequent=stats.n_frequent.get(1, 0),
+                )
             levels: dict[int, HLHk] = {}
             if self.params.max_pattern_length >= 2:
-                hlh2 = self._mine_two_event_patterns(
-                    hlh1, runner, backend, kernel, patterns, stats
-                )
+                with span("estpm/step2.2/pairs", k=2) as step22:
+                    hlh2 = self._mine_two_event_patterns(
+                        hlh1, runner, backend, kernel, patterns, stats
+                    )
+                    step22.set(
+                        groups=len(hlh2.groups), patterns=len(hlh2.phk)
+                    )
                 levels[2] = hlh2
                 candidate_triples = frozenset(p.triples[0] for p in hlh2.phk)
                 previous = hlh2
                 k = 3
                 while k <= self.params.max_pattern_length and previous.phk:
-                    current = self._mine_k_event_patterns(
-                        hlh1, previous, candidate_triples, k, runner, backend,
-                        kernel, patterns, stats,
-                    )
+                    with span("estpm/step2.2/extend", k=k) as extend_span:
+                        current = self._mine_k_event_patterns(
+                            hlh1, previous, candidate_triples, k, runner,
+                            backend, kernel, patterns, stats,
+                        )
+                        extend_span.set(
+                            groups=len(current.groups),
+                            patterns=len(current.phk),
+                        )
                     levels[k] = current
                     previous = current
                     k += 1
+            mine_span.set(patterns=len(patterns))
 
         stats.mining_seconds = time.perf_counter() - started
         return MiningResult(patterns=patterns, stats=stats)
@@ -744,7 +808,10 @@ class ESTPM:
         # extension enumeration; a single-event run (maxSeason scan, the
         # multigrain event-seasonality workload) never reads them.
         need_instances = params.max_pattern_length >= 2
-        for event, support in sorted(self.dseq.event_support(backend).items()):
+        with span("estpm/step2.1/hlh1_scan") as scan_span:
+            event_supports = sorted(self.dseq.event_support(backend).items())
+            scan_span.set(events=len(event_supports))
+        for event, support in event_supports:
             if self.series_filter is not None and series_of(event) not in self.series_filter:
                 stats.n_events_pruned += 1
                 continue
@@ -885,7 +952,9 @@ class ESTPM:
         params = self.params
         for pattern, support in pattern_support.items():
             if self.pruning.apriori and not is_candidate(len(support), params):
+                metrics.inc("mine.patterns.gate_rejected")
                 continue
+            metrics.inc("mine.patterns.candidates")
             hlhk.add_pattern(
                 pattern,
                 make_support_set(support, backend),
@@ -899,6 +968,7 @@ class ESTPM:
                     SeasonalPattern(pattern, compute_seasons(support, params))
                 )
                 stats.bump(stats.n_frequent, hlhk.k)
+                metrics.inc("mine.patterns.frequent")
 
 
 def mine_seasonal_patterns(

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.core.config import MiningParams
 from repro.exceptions import DatasetError
+from repro.obs.trace import span
 from repro.symbolic.alphabet import Alphabet
 from repro.symbolic.database import SymbolicDatabase
 from repro.symbolic.mapping import QuantileMapper
@@ -120,11 +121,12 @@ def symbolize(
     """
     if not raw:
         raise DatasetError(f"dataset {name!r} has no raw series")
-    database = SymbolicDatabase()
-    for series_name, values in raw.items():
-        alphabet = levels.get(series_name, LEVELS_3)
-        mapper = QuantileMapper(alphabet)
-        database.add(mapper.encode(TimeSeries.from_array(series_name, values)))
+    with span("dataset/symbolize", dataset=name, series=len(raw)):
+        database = SymbolicDatabase()
+        for series_name, values in raw.items():
+            alphabet = levels.get(series_name, LEVELS_3)
+            mapper = QuantileMapper(alphabet)
+            database.add(mapper.encode(TimeSeries.from_array(series_name, values)))
     return Dataset(
         name=name,
         dsyb=database,

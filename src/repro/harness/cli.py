@@ -33,12 +33,23 @@ keeps one persistent worker pool alive for the whole command, so
 multi-level and multi-experiment runs reuse the same workers instead of
 spawning a pool per mining level.  All combinations return identical
 pattern sets.
+
+Telemetry
+---------
+Every mining subcommand also accepts ``--log-level
+debug|info|warning|error`` and ``--log-json`` (JSON-lines instead of
+key=value) controlling the ``repro.*`` stderr diagnostics, plus
+``--trace FILE`` which enables the span/counter telemetry for the whole
+command and writes the nested span tree + counter summary as JSON when
+the command finishes.  Machine-readable stdout is unaffected by all
+three flags.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro.core.approximate import ASTPM
 from repro.core.executor import (
@@ -66,6 +77,16 @@ from repro.multigrain import (
     HierarchicalMiner,
     MultiGranularityResult,
 )
+from repro.obs import (
+    disable_telemetry,
+    enable_telemetry,
+    reset_telemetry,
+    summary as metrics_summary,
+    write_trace,
+)
+from repro.obs.logging import LEVELS, configure_logging, get_logger
+
+logger = get_logger(__name__)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,12 +136,35 @@ def _build_parser() -> argparse.ArgumentParser:
             "parity loops); all kernels return identical pattern sets",
         )
 
+    def add_telemetry_arguments(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--log-level",
+            default=None,
+            choices=sorted(LEVELS),
+            help="threshold for repro.* diagnostics on stderr "
+            "(default: warning)",
+        )
+        command_parser.add_argument(
+            "--log-json",
+            action="store_true",
+            help="emit diagnostics as JSON lines instead of key=value text",
+        )
+        command_parser.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="enable span/counter telemetry and write the trace JSON "
+            "(nested span tree + counter summary) here when the command "
+            "finishes",
+        )
+
     sub.add_parser("list", help="list experiments and datasets")
 
     run_parser = sub.add_parser("run", help="run specific experiments")
     run_parser.add_argument("ids", nargs="+", help="experiment ids, e.g. T9 F7")
     run_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
     add_engine_arguments(run_parser)
+    add_telemetry_arguments(run_parser)
 
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--profile", default="bench", choices=sorted(PROFILES))
@@ -131,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "slows mining, so use this when wall-clock numbers matter)",
     )
     add_engine_arguments(all_parser)
+    add_telemetry_arguments(all_parser)
 
     mine_parser = sub.add_parser("mine", help="one-off mining run")
     mine_parser.add_argument("--dataset", default="RE", choices=sorted(DATASET_BUILDERS))
@@ -141,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--approximate", action="store_true", help="use A-STPM")
     mine_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
     add_engine_arguments(mine_parser)
+    add_telemetry_arguments(mine_parser)
 
     multigrain_parser = sub.add_parser(
         "multigrain",
@@ -176,6 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=10, help="persistent patterns to print"
     )
     add_engine_arguments(multigrain_parser)
+    add_telemetry_arguments(multigrain_parser)
 
     stream_parser = sub.add_parser(
         "stream", help="replay a dataset as a live stream (incremental mining)"
@@ -217,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="step-2.2 instance-enumeration kernel (array/sweep/reference); "
         "all kernels return identical pattern sets",
     )
+    add_telemetry_arguments(stream_parser)
 
     query_parser = sub.add_parser(
         "query", help="filter an archived results JSON (PatternQuery)"
@@ -267,10 +315,8 @@ def _executor_spec(args):
         # instances open for the whole command.
         return ThreadExecutor(max_workers=args.workers)
     if keep_pool:
-        print(
-            "warning: --keep-pool has no effect without "
-            "--executor parallel|threads",
-            file=sys.stderr,
+        logger.warning(
+            "--keep-pool has no effect without --executor parallel|threads"
         )
     return args.executor
 
@@ -290,9 +336,46 @@ def _close_executor(spec) -> None:
         spec.close()
 
 
+@contextmanager
+def _telemetry(args):
+    """Configure logging and (when ``--trace`` is set) span/counter telemetry.
+
+    Logging is configured for every subcommand (``list``/``query`` have no
+    telemetry flags, so they get the defaults).  The trace file is written
+    on the way out even when the command fails, so aborted runs still leave
+    the spans collected up to the failure.  The ``all`` subcommand routes
+    its trace through :func:`repro.harness.runner.run_all`'s own
+    ``trace_path`` hook instead, exercising the harness-level integration.
+    """
+    configure_logging(
+        level=getattr(args, "log_level", None) or "warning",
+        json_lines=getattr(args, "log_json", False),
+    )
+    trace_path = getattr(args, "trace", None)
+    own_trace = trace_path if args.command != "all" else None
+    if own_trace is not None:
+        reset_telemetry()
+        enable_telemetry()
+    try:
+        yield
+    finally:
+        if own_trace is not None:
+            path = write_trace(
+                own_trace, command=args.command, counters=metrics_summary()
+            )
+            disable_telemetry()
+            logger.info("trace written", extra={"path": str(path)})
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    with _telemetry(args):
+        return _dispatch(args)
+
+
+def _dispatch(args) -> int:
+    """Route parsed arguments to the subcommand implementation."""
     if args.command == "list":
         print("Experiments:")
         for artifact_id in sorted(EXPERIMENTS):
@@ -320,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
                 support_backend=args.support_backend,
                 kernel=args.kernel,
                 measure_memory=not args.no_memory,
+                trace_path=args.trace,
             )
         finally:
             _close_executor(spec)
@@ -367,7 +451,7 @@ def _run_multigrain(args) -> int:
     dataset = load_dataset(args.dataset, args.profile)
     ratios = sorted({dataset.ratio * multiple for multiple in args.multiples})
     if any(multiple < 1 for multiple in args.multiples):
-        print("error: --multiples must be >= 1", file=sys.stderr)
+        logger.error("--multiples must be >= 1")
         return 2
     # The dataset's dist interval is expressed in its own sequence
     # granules; the hierarchy spec wants fine granules (DSYB instants).
@@ -455,10 +539,10 @@ def _run_query(args) -> int:
     if isinstance(archive, MultiGranularityResult):
         ratio = args.level if args.level is not None else archive.ratios[0]
         if ratio not in archive.ratios:
-            print(
-                f"error: no archived level at ratio {ratio}; "
-                f"available: {archive.ratios}",
-                file=sys.stderr,
+            logger.error(
+                "no archived level at ratio %s; available: %s",
+                ratio,
+                archive.ratios,
             )
             return 2
         result = archive.level(ratio).result
@@ -468,10 +552,7 @@ def _run_query(args) -> int:
         )
     else:
         if args.level is not None:
-            print(
-                "error: --level only applies to multigrain archives",
-                file=sys.stderr,
-            )
+            logger.error("--level only applies to multigrain archives")
             return 2
         result = archive
     query = PatternQuery().min_size(args.min_size).min_seasons(args.min_seasons)

@@ -8,7 +8,7 @@ seconds on a laptop; the paper's full grids can be requested through the
 keyword overrides.
 
 The *shape* each experiment must reproduce (vs the paper) is documented in
-DESIGN.md section 8 and checked into EXPERIMENTS.md.
+DESIGN.md section 10 and checked into EXPERIMENTS.md.
 """
 
 from __future__ import annotations

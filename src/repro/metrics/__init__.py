@@ -7,12 +7,15 @@
 """
 
 from repro.metrics.accuracy import accuracy_pct, pattern_set_overlap
-from repro.metrics.memory import measure_peak_memory
-from repro.metrics.timing import time_call
+from repro.metrics.memory import close_frame, measure_peak_memory, open_frame
+from repro.metrics.timing import Timer, time_call
 
 __all__ = [
+    "Timer",
     "time_call",
     "measure_peak_memory",
+    "open_frame",
+    "close_frame",
     "accuracy_pct",
     "pattern_set_overlap",
 ]

@@ -55,13 +55,13 @@ def _fold_segment() -> None:
     tracemalloc.reset_peak()
 
 
-def measure_peak_memory(fn: Callable[[], T]) -> tuple[T, int]:
-    """Run ``fn`` and return ``(result, peak_allocated_bytes)``.
+def open_frame() -> None:
+    """Open a measurement frame (see module docstring for nesting).
 
-    Calls nest (see module docstring); a nested frame reports its peak
-    net of the allocations already live when it opened.  Raises if
-    tracemalloc was started outside this helper, so measurements never
-    silently include (or stop) someone else's tracing session.
+    Starts tracing at the outermost frame.  Raises if tracemalloc was
+    started outside this module, so measurements never silently include
+    (or stop) someone else's tracing session.  Frames are a single
+    process-global stack: open/close them from one thread at a time.
     """
     if tracemalloc.is_tracing() and not _FRAMES:
         raise RuntimeError(
@@ -73,16 +73,25 @@ def measure_peak_memory(fn: Callable[[], T]) -> tuple[T, int]:
     else:
         _fold_segment()
     _FRAMES.append(_Frame(tracemalloc.get_traced_memory()[0]))
+
+
+def measure_peak_memory(fn: Callable[[], T]) -> tuple[T, int]:
+    """Run ``fn`` and return ``(result, peak_allocated_bytes)``.
+
+    Calls nest (see module docstring); a nested frame reports its peak
+    net of the allocations already live when it opened.
+    """
+    open_frame()
     try:
         result = fn()
     except BaseException:
-        _close_frame()
+        close_frame()
         raise
-    peak = _close_frame()
+    peak = close_frame()
     return result, peak
 
 
-def _close_frame() -> int:
+def close_frame() -> int:
     """Pop the innermost frame, folding its final segment everywhere."""
     _, segment_peak = tracemalloc.get_traced_memory()
     frame = _FRAMES.pop()

@@ -1,4 +1,11 @@
-"""Wall-clock timing of callables."""
+"""Wall-clock timing of callables and code blocks.
+
+:class:`Timer` is the primary API -- a context manager over
+``time.perf_counter_ns()`` whose integer arithmetic avoids the float
+rounding that ``perf_counter()`` deltas accumulate on long runs.
+:func:`time_call` is the legacy wrapper, kept for existing callers; it
+delegates to :class:`Timer` internally.
+"""
 
 from __future__ import annotations
 
@@ -8,8 +15,55 @@ from typing import Callable, TypeVar
 T = TypeVar("T")
 
 
+class Timer:
+    """Measure a block's wall-clock with nanosecond integer arithmetic.
+
+    ::
+
+        with Timer() as timer:
+            work()
+        print(timer.seconds)
+
+    ``start()``/``stop()`` are also exposed for non-``with`` call sites;
+    ``stop()`` returns the elapsed seconds.  Re-entering restarts the
+    measurement.
+    """
+
+    __slots__ = ("elapsed_ns", "_started_ns")
+
+    def __init__(self) -> None:
+        self.elapsed_ns = 0
+        self._started_ns: int | None = None
+
+    def start(self) -> "Timer":
+        self._started_ns = time.perf_counter_ns()
+        return self
+
+    def stop(self) -> float:
+        if self._started_ns is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed_ns = time.perf_counter_ns() - self._started_ns
+        self._started_ns = None
+        return self.seconds
+
+    @property
+    def seconds(self) -> float:
+        return self.elapsed_ns / 1e9
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.stop()
+
+
 def time_call(fn: Callable[[], T]) -> tuple[T, float]:
-    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
-    started = time.perf_counter()
+    """Run ``fn`` and return ``(result, elapsed_seconds)``.
+
+    .. deprecated:: 1.7
+        Prefer :class:`Timer`; ``time_call`` remains for existing
+        callers and simply wraps it.
+    """
+    timer = Timer().start()
     result = fn()
-    return result, time.perf_counter() - started
+    return result, timer.stop()

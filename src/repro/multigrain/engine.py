@@ -47,6 +47,8 @@ from repro.exceptions import ConfigError
 from repro.granularity.hierarchy import GranularityHierarchy
 from repro.multigrain.result import GranularityLevel, MultiGranularityResult
 from repro.multigrain.screening import screen_level
+from repro.obs import counters as metrics
+from repro.obs.trace import span
 from repro.symbolic.database import SymbolicDatabase
 from repro.transform.sequence_db import (
     TemporalSequenceDatabase,
@@ -145,30 +147,35 @@ def mine_level_task(index: int) -> GranularityLevel:
     context: HierarchicalContext = get_task_context()
     job = context.jobs[index]
     started = time.perf_counter()
-    dseq = job.dseq
-    if dseq is None:
-        dseq = build_sequence_database(context.dsyb, job.ratio)
-    if context.miner == MINER_APPROXIMATE:
-        result = ASTPM(
-            context.dsyb,
-            job.ratio,
-            job.params,
-            pruning=context.pruning,
-            dseq=dseq,
-            event_level=context.event_level,
-            support_backend=context.support_backend,
-            executor=SerialExecutor(),
-            kernel=context.kernel,
-        ).mine()
-    else:
-        result = ESTPM(
-            dseq,
-            job.params,
-            context.pruning,
-            support_backend=context.support_backend,
-            executor=SerialExecutor(),
-            kernel=context.kernel,
-        ).mine()
+    # The span records in-process (serial/threads backends); with process
+    # workers it stays in the worker while the level *counters* still
+    # ship back through the executor's metric envelope.
+    with span("multigrain/level", ratio=job.ratio, miner=context.miner):
+        metrics.inc("multigrain.levels_mined")
+        dseq = job.dseq
+        if dseq is None:
+            dseq = build_sequence_database(context.dsyb, job.ratio)
+        if context.miner == MINER_APPROXIMATE:
+            result = ASTPM(
+                context.dsyb,
+                job.ratio,
+                job.params,
+                pruning=context.pruning,
+                dseq=dseq,
+                event_level=context.event_level,
+                support_backend=context.support_backend,
+                executor=SerialExecutor(),
+                kernel=context.kernel,
+            ).mine()
+        else:
+            result = ESTPM(
+                dseq,
+                job.params,
+                context.pruning,
+                support_backend=context.support_backend,
+                executor=SerialExecutor(),
+                kernel=context.kernel,
+            ).mine()
     return GranularityLevel(
         ratio=job.ratio,
         n_sequences=job.n_sequences,
@@ -385,18 +392,27 @@ class HierarchicalMiner:
         resolved from a name lives exactly as long as this job.
         """
         backend = validate_backend(self.support_backend or default_backend())
-        jobs = self._build_jobs(backend)
-        context = HierarchicalContext(
-            jobs=tuple(jobs),
-            dsyb=self.dsyb,
-            pruning=self.pruning,
-            miner=self.miner,
-            event_level=self.event_level,
-            support_backend=backend,
-            kernel=self.kernel,
-        )
-        with executor_scope(self.executor, self.n_workers) as runner:
-            levels = list(
-                runner.map_tasks(mine_level_task, list(range(len(jobs))), context)
+        with span(
+            "multigrain/mine", miner=self.miner, levels=len(self.ratios)
+        ) as mine_span:
+            with span("multigrain/build_jobs"):
+                jobs = self._build_jobs(backend)
+            context = HierarchicalContext(
+                jobs=tuple(jobs),
+                dsyb=self.dsyb,
+                pruning=self.pruning,
+                miner=self.miner,
+                event_level=self.event_level,
+                support_backend=backend,
+                kernel=self.kernel,
+            )
+            with executor_scope(self.executor, self.n_workers) as runner:
+                levels = list(
+                    runner.map_tasks(
+                        mine_level_task, list(range(len(jobs))), context
+                    )
+                )
+            mine_span.set(
+                patterns=sum(len(level.result) for level in levels)
             )
         return MultiGranularityResult(levels=levels)

@@ -1,0 +1,246 @@
+"""Nestable, thread-safe wall-clock spans with optional memory peaks.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("estpm/step2.2/pairs", level=2) as sp:
+        ...
+        sp.set(groups=n_groups)
+
+Spans nest per thread: a span opened while another is active becomes
+its child, so a mining run exports as one tree (symbolization ->
+HLH1 -> step 2.1 -> step 2.2 pair + extension kernels).  Completed
+root spans collect in a lock-protected module list shared by all
+threads; :func:`trace_tree` / :func:`phase_summary` / :func:`write_trace`
+export them.
+
+Zero overhead when disabled: :func:`span` returns a shared no-op
+singleton (``span(...) is span(...)``) whose ``__enter__``/``__exit__``/
+``set`` do nothing, so instrumented code paths cost two function calls
+and no allocations when tracing is off.
+
+``span(name, memory=True)`` additionally records the traced-memory peak
+over the span via the :mod:`repro.metrics.memory` frame stack, which
+nests correctly with enclosing ``measure_peak_memory`` calls.  Memory
+spans start ``tracemalloc`` and are therefore *not* zero-cost; reserve
+them for coarse phases.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "Span",
+    "span",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "reset_trace",
+    "trace_roots",
+    "trace_tree",
+    "phase_summary",
+    "write_trace",
+]
+
+TRACE_VERSION = 1
+
+_ENABLED = False
+_TLS = threading.local()
+_LOCK = threading.Lock()
+_ROOTS: list[Span] = []
+_EPOCH_NS = time.perf_counter_ns()
+
+
+def tracing_enabled() -> bool:
+    """True when span recording is globally enabled."""
+    return _ENABLED
+
+
+def enable_tracing() -> None:
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_tracing() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def reset_trace() -> None:
+    """Drop all completed root spans and this thread's open stack."""
+    with _LOCK:
+        _ROOTS.clear()
+    _TLS.stack = []
+
+
+class Span:
+    """One timed phase; children are spans opened while it is active."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "start_offset_ns",
+        "duration_ns",
+        "memory_peak_bytes",
+        "_memory",
+        "_started_ns",
+    )
+
+    def __init__(self, name: str, memory: bool, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.start_offset_ns = 0
+        self.duration_ns = 0
+        self.memory_peak_bytes: int | None = None
+        self._memory = memory
+        self._started_ns = 0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> Span:
+        stack = getattr(_TLS, "stack", None)
+        if stack is None:
+            stack = _TLS.stack = []
+        stack.append(self)
+        if self._memory:
+            # Imported lazily: repro.metrics pulls in core modules, and
+            # importing it at module scope would cycle through packages
+            # that themselves import repro.obs.
+            from repro.metrics.memory import open_frame
+
+            open_frame()
+        self._started_ns = time.perf_counter_ns()
+        self.start_offset_ns = self._started_ns - _EPOCH_NS
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.duration_ns = time.perf_counter_ns() - self._started_ns
+        if self._memory:
+            from repro.metrics.memory import close_frame
+
+            self.memory_peak_bytes = close_frame()
+        stack = _TLS.stack
+        stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            with _LOCK:
+                _ROOTS.append(self)
+
+    @property
+    def seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "start_offset_ns": self.start_offset_ns,
+            "duration_ns": self.duration_ns,
+            "seconds": self.seconds,
+        }
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        if self.memory_peak_bytes is not None:
+            data["memory_peak_bytes"] = self.memory_peak_bytes
+        data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, memory: bool = False, **attrs: Any) -> Any:
+    """Open a span (use as a context manager).
+
+    Returns the shared no-op singleton when tracing is disabled, so the
+    call allocates nothing on the fast path.
+    """
+    if not _ENABLED:
+        return _NULL_SPAN
+    return Span(name, memory, attrs)
+
+
+def trace_roots() -> list[Span]:
+    """Completed root spans, in completion order."""
+    with _LOCK:
+        return list(_ROOTS)
+
+
+def trace_tree() -> list[dict[str, Any]]:
+    """All completed root spans as nested JSON-able dicts."""
+    return [root.to_dict() for root in trace_roots()]
+
+
+def _walk(spans: Iterable[Span]) -> Iterable[Span]:
+    for entry in spans:
+        yield entry
+        yield from _walk(entry.children)
+
+
+def phase_summary() -> list[dict[str, Any]]:
+    """Flat per-name aggregation over the whole trace.
+
+    ``self_seconds`` excludes time spent in child spans, so the summary
+    answers "which phase itself is hot" even when phases nest.
+    """
+    totals: dict[str, dict[str, Any]] = {}
+    for entry in _walk(trace_roots()):
+        row = totals.setdefault(
+            entry.name,
+            {"name": entry.name, "calls": 0, "seconds": 0.0, "self_seconds": 0.0},
+        )
+        row["calls"] += 1
+        row["seconds"] += entry.seconds
+        row["self_seconds"] += entry.seconds - sum(
+            child.seconds for child in entry.children
+        )
+        if entry.memory_peak_bytes is not None:
+            row["memory_peak_bytes"] = max(
+                row.get("memory_peak_bytes", 0), entry.memory_peak_bytes
+            )
+    return sorted(totals.values(), key=lambda row: -row["seconds"])
+
+
+def write_trace(
+    path: str | Path,
+    command: str | None = None,
+    counters: dict[str, Any] | None = None,
+) -> Path:
+    """Write the collected trace (tree + summary + counters) as JSON."""
+    payload: dict[str, Any] = {
+        "version": TRACE_VERSION,
+        "spans": trace_tree(),
+        "summary": phase_summary(),
+    }
+    if command is not None:
+        payload["command"] = command
+    if counters is not None:
+        payload["counters"] = counters
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return target

@@ -52,6 +52,8 @@ from repro.core.results import (
 )
 from repro.core.seasonality import SeasonView, is_candidate
 from repro.core.instance_index import default_kernel, validate_kernel
+from repro.obs import counters as metrics
+from repro.obs.trace import span
 from repro.core.stpm import ESTPM, kernel_functions
 from repro.core.supportset import default_backend, validate_backend
 from repro.events.sequence import TemporalSequence
@@ -196,6 +198,22 @@ class IncrementalSTPM:
         ``rows``, if given, are appended to the database first (a
         convenience for callers without a :class:`StreamingDatabase`).
         """
+        with span("stream/advance") as advance_span:
+            delta = self._advance(rows)
+            advance_span.set(
+                new_granules=delta.new_granules,
+                promoted=len(delta.promoted),
+                updated=len(delta.updated),
+            )
+        if metrics.metrics_enabled():
+            metrics.inc("stream.advances")
+            metrics.inc("stream.granules_ingested", delta.new_granules)
+            metrics.inc("stream.patterns.promoted", len(delta.promoted))
+            metrics.inc("stream.patterns.updated", len(delta.updated))
+            metrics.observe("stream.advance_seconds", delta.seconds)
+        return delta
+
+    def _advance(self, rows: Iterable[TemporalSequence] | None = None) -> PatternDelta:
         started = time.perf_counter()
         if rows is not None:
             for row in rows:

@@ -25,6 +25,7 @@ from repro.core.supportset import (
 from repro.events.event import EventInstance
 from repro.events.sequence import TemporalSequence
 from repro.exceptions import TransformError
+from repro.obs.trace import span
 from repro.symbolic.database import SymbolicDatabase
 
 
@@ -348,14 +349,17 @@ def build_sequence_database(
         raise TransformError(
             f"ratio {ratio} exceeds the {dsyb.n_instants} instants of DSYB"
         )
-    rows: list[TemporalSequence] = []
-    for granule_index in range(n_granules):
-        sequence = TemporalSequence(position=granule_index + 1)
-        for symbolic in dsyb:
-            sequence.instances.extend(
-                _granule_instances(
-                    symbolic.name, symbolic.symbols, granule_index, ratio
+    with span("transform/build_dseq", ratio=ratio, granules=n_granules):
+        rows: list[TemporalSequence] = []
+        for granule_index in range(n_granules):
+            sequence = TemporalSequence(position=granule_index + 1)
+            for symbolic in dsyb:
+                sequence.instances.extend(
+                    _granule_instances(
+                        symbolic.name, symbolic.symbols, granule_index, ratio
+                    )
                 )
-            )
-        rows.append(sequence.finalize())
-    return TemporalSequenceDatabase(rows=rows, ratio=ratio, source_names=dsyb.names)
+            rows.append(sequence.finalize())
+        return TemporalSequenceDatabase(
+            rows=rows, ratio=ratio, source_names=dsyb.names
+        )

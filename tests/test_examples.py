@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "custom_data.py",
     "streaming_updates.py",
     "multi_granularity.py",
+    "tracing_run.py",
 ]
 
 
@@ -34,6 +35,7 @@ def test_every_expected_example_exists():
         "advanced_workflow.py",
         "streaming_updates.py",
         "multi_granularity.py",
+        "tracing_run.py",
     } <= names
 
 

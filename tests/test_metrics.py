@@ -4,7 +4,13 @@ import pytest
 
 from repro import ESTPM
 from repro.core.results import MiningResult, MiningStats
-from repro.metrics import accuracy_pct, measure_peak_memory, pattern_set_overlap, time_call
+from repro.metrics import (
+    Timer,
+    accuracy_pct,
+    measure_peak_memory,
+    pattern_set_overlap,
+    time_call,
+)
 
 
 def _result_with(patterns):
@@ -24,6 +30,33 @@ class TestTimeCall:
         result, elapsed = time_call(lambda: 21 * 2)
         assert result == 42
         assert elapsed >= 0.0
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.seconds > 0.0
+        assert timer.elapsed_ns > 0
+
+    def test_start_stop(self):
+        timer = Timer()
+        assert timer.start() is timer
+        elapsed = timer.stop()
+        assert elapsed == timer.seconds >= 0.0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_restart_measures_fresh(self):
+        timer = Timer()
+        with timer:
+            sum(range(100_000))
+        first = timer.seconds
+        with timer:
+            pass
+        assert timer.seconds < first
 
 
 class TestPeakMemory:
