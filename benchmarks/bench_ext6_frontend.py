@@ -1,0 +1,190 @@
+"""Bench EXT6 (extension): the front-end ladder (symbolize -> DSEQ -> step 2.1).
+
+PRs 5-6 made step-2.2 pattern growth up to ~55x faster, so by Amdahl the
+pipeline's wall-clock moved into the front end: quantile symbolization,
+the sequence mapping ``g: XS ->m H``, and the step-2.1 single-event scan
+(supports + maxSeason/frequency gates).  This bench times the full front
+end twice on the same seasonal scale workload
+(:func:`repro.datasets.scaling.frontend_workload`):
+
+* ``vectorized`` -- the columnar front end: one-``searchsorted`` binning,
+  one-pass columnar DSEQ construction priming per-event supports and
+  instance columns, batched season gate (``count_seasons_batch``);
+* ``scalar``     -- the parity reference: pure-Python binning loops
+  (``REPRO_COMPUTE=python``), granule-by-granule DSEQ rows, per-event
+  season chains.
+
+Two regimes, matching the acceptance floors:
+
+* ``numpy``  -- vectorized arm on the numpy compute backend vs the fully
+  scalar arm; floor >= 2x end-to-end;
+* ``python`` -- both arms under ``REPRO_COMPUTE=python`` (the columnar
+  builder's single-pass run sweep vs the per-granule loops); floor
+  >= 1.2x.
+
+Both arms must produce byte-identical symbol streams and
+``results_equivalent`` mining output.  A third, traced run of the
+vectorized arm embeds the per-phase ``self_seconds`` breakdown
+(``obs.phase_summary``) into ``BENCH_EXT6.json`` so the Amdahl picture
+ships with the numbers.
+"""
+
+import time
+from contextlib import contextmanager
+
+import pytest
+from _shared import record_benchmark_json, run_once
+
+from repro import ESTPM, SymbolicDatabase, build_sequence_database
+from repro.core.config import get_numpy, set_compute_backend
+from repro.core.results import results_equivalent
+from repro.datasets.scaling import frontend_workload, scale_alphabet
+from repro.obs import (
+    disable_telemetry,
+    enable_telemetry,
+    phase_summary,
+    reset_telemetry,
+)
+from repro.obs.trace import span
+from repro.symbolic.mapping import QuantileMapper
+from repro.symbolic.series import TimeSeries
+
+#: Workload shared by both regimes (smooth seasonal sines -- low noise
+#: keeps symbol runs multiple instants long, the regime where per-symbol
+#: work dominates the scalar arm; see frontend_workload).  The regimes
+#: pick the compute backend per arm and the CI floor.
+WORKLOAD = dict(n_granules=1600, n_series=8, alphabet_size=5, ratio=12, noise=0.05)
+REGIMES = {
+    "numpy": dict(vec_backend=None, scalar_backend="python", min_speedup=2.0),
+    "python": dict(vec_backend="python", scalar_backend="python", min_speedup=1.2),
+}
+
+
+@contextmanager
+def _compute(backend):
+    """Pin the compute backend for one arm (None = the session default)."""
+    if backend is None:
+        yield
+        return
+    set_compute_backend(backend)
+    try:
+        yield
+    finally:
+        set_compute_backend(None)
+
+
+def _pipeline(series, alphabet, ratio, params, frontend):
+    """Run symbolize -> build DSEQ -> step 2.1 and time each phase.
+
+    ``series`` holds prebuilt :class:`TimeSeries` objects -- input
+    preparation is not symbolization, so it stays outside the clock.
+    """
+    phases = {}
+    started = time.perf_counter()
+    with span("ext6/symbolize", series=len(series)):
+        mapper = QuantileMapper(alphabet)
+        dsyb = SymbolicDatabase()
+        for one in series:
+            dsyb.add(mapper.encode(one))
+    phases["symbolize"] = time.perf_counter() - started
+    started = time.perf_counter()
+    dseq = build_sequence_database(dsyb, ratio, frontend=frontend)
+    phases["build_dseq"] = time.perf_counter() - started
+    started = time.perf_counter()
+    result = ESTPM(dseq, params).mine()
+    phases["step2.1"] = time.perf_counter() - started
+    phases["total"] = sum(phases.values())
+    return result, phases
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+def test_frontend_ladder_speedup(benchmark, record_artifact, regime):
+    spec = REGIMES[regime]
+    if regime == "numpy" and get_numpy() is None:
+        pytest.skip("numpy compute backend unavailable (REPRO_COMPUTE=python)")
+    dataset = frontend_workload(**WORKLOAD)
+    series = [
+        TimeSeries.from_array(name, values) for name, values in dataset.raw.items()
+    ]
+    alphabet = scale_alphabet(WORKLOAD["alphabet_size"])
+    ratio = dataset.ratio
+    params = dataset.params(
+        max_period_pct=0.4, min_density_pct=0.35, min_season=4, max_pattern_length=1
+    )
+    min_speedup = spec["min_speedup"]
+
+    def measure():
+        # Warm both arms once (imports, allocator, branch caches).
+        with _compute(spec["vec_backend"]):
+            _pipeline(series, alphabet, ratio, params, "columnar")
+        with _compute(spec["scalar_backend"]):
+            _pipeline(series, alphabet, ratio, params, "scalar")
+        with _compute(spec["vec_backend"]):
+            vec_result, vec_phases = _pipeline(series, alphabet, ratio, params, "columnar")
+        with _compute(spec["scalar_backend"]):
+            scalar_result, scalar_phases = _pipeline(series, alphabet, ratio, params, "scalar")
+        assert results_equivalent(vec_result, scalar_result), (
+            "vectorized front end diverged from the scalar reference"
+        )
+        return vec_result, vec_phases, scalar_phases
+
+    (result, vec_phases, scalar_phases) = run_once(benchmark, measure)
+
+    # Traced vectorized run: the per-phase self-seconds breakdown that
+    # ships with the JSON artifact (run separately so span bookkeeping
+    # does not pollute the timed arms above).
+    reset_telemetry()
+    enable_telemetry()
+    try:
+        with _compute(spec["vec_backend"]):
+            _pipeline(series, alphabet, ratio, params, "columnar")
+        breakdown = [
+            {
+                "name": row["name"],
+                "calls": row["calls"],
+                "seconds": row["seconds"],
+                "self_seconds": row["self_seconds"],
+            }
+            for row in phase_summary()
+        ]
+    finally:
+        disable_telemetry()
+
+    speedup = scalar_phases["total"] / vec_phases["total"]
+    record_artifact(
+        f"EXT6-frontend-{regime}",
+        "\n".join(
+            [
+                f"EXT6 -- front-end ladder: vectorized vs scalar ({regime} regime)",
+                f"  granules                : {WORKLOAD['n_granules']:8d} "
+                f"(ratio {ratio}, {WORKLOAD['n_series']} series, "
+                f"{WORKLOAD['alphabet_size']}-symbol alphabet)",
+                f"  frequent patterns       : {len(result):8d}",
+                f"  vectorized symbolize    : {vec_phases['symbolize'] * 1000:10.1f} ms",
+                f"  vectorized build DSEQ   : {vec_phases['build_dseq'] * 1000:10.1f} ms",
+                f"  vectorized step 2.1     : {vec_phases['step2.1'] * 1000:10.1f} ms",
+                f"  vectorized total        : {vec_phases['total'] * 1000:10.1f} ms",
+                f"  scalar total            : {scalar_phases['total'] * 1000:10.1f} ms",
+                f"  end-to-end speedup      : {speedup:10.1f}x (floor {min_speedup}x)",
+                "  results are results_equivalent across both arms",
+            ]
+        ),
+    )
+    record_benchmark_json(
+        "EXT6",
+        {
+            "name": f"frontend-{regime}",
+            "workload": dict(WORKLOAD),
+            "numpy": get_numpy() is not None,
+            "vectorized_seconds": vec_phases,
+            "scalar_seconds": scalar_phases,
+            "speedup": speedup,
+            "floor": min_speedup,
+            "n_patterns": len(result),
+            "phase_breakdown": breakdown,
+        },
+    )
+    assert speedup >= min_speedup, (
+        f"vectorized front end must be >= {min_speedup}x faster than the "
+        f"scalar reference in the {regime} regime, got {speedup:.2f}x"
+    )

@@ -9,12 +9,15 @@ Examples
     python scripts/profile_mining.py F7
     python scripts/profile_mining.py T9 --profile tiny -n 40
     python scripts/profile_mining.py F11 --sort tottime --executor serial
+    python scripts/profile_mining.py F7 --trace /tmp/f7.json
+    python scripts/profile_mining.py --phases /tmp/f7.json
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 from pathlib import Path
@@ -25,6 +28,21 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 
+def print_phase_table(rows: list[dict], stream=sys.stdout) -> None:
+    """Render ``phase_summary`` rows (or a trace file's ``summary``) as a table."""
+    width = max([len("phase")] + [len(row["name"]) for row in rows])
+    print(
+        f"{'phase':<{width}}  {'calls':>8}  {'seconds':>10}  {'self_s':>10}",
+        file=stream,
+    )
+    for row in rows:
+        print(
+            f"{row['name']:<{width}}  {row['calls']:>8d}  "
+            f"{row['seconds']:>10.4f}  {row['self_seconds']:>10.4f}",
+            file=stream,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.harness.experiments import EXPERIMENTS, run_experiment
 
@@ -33,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "artifact_id",
+        nargs="?",
         help=f"experiment to profile; one of {', '.join(sorted(EXPERIMENTS))}",
     )
     parser.add_argument(
@@ -83,7 +102,23 @@ def main(argv: list[str] | None = None) -> int:
         "and write the trace JSON here (phase attribution to complement "
         "the function-level cProfile view)",
     )
+    parser.add_argument(
+        "--phases",
+        type=Path,
+        default=None,
+        metavar="TRACE",
+        help="print the per-phase table (name / calls / seconds / self "
+        "seconds) of a trace JSON previously written with --trace, then "
+        "exit without profiling anything",
+    )
     args = parser.parse_args(argv)
+
+    if args.phases is not None:
+        payload = json.loads(args.phases.read_text())
+        print_phase_table(payload.get("summary", []))
+        return 0
+    if args.artifact_id is None:
+        parser.error("artifact_id is required unless --phases TRACE is given")
 
     if args.trace is not None:
         from repro.obs import enable_telemetry, reset_telemetry

@@ -56,12 +56,22 @@ class HLH1:
         event: str,
         support: SupportLike,
         instances_by_granule: dict[int, list[EventInstance]],
+        columns: dict[int, InstanceColumn] | None = None,
     ) -> None:
-        """Insert a candidate single event (Alg. 1 line 4)."""
+        """Insert a candidate single event (Alg. 1 line 4).
+
+        ``columns``, if given, installs prebuilt per-granule instance
+        columns (the columnar front end hands over the tables it already
+        materialized); granules missing from it still build lazily via
+        :meth:`column_of`.
+        """
         self.eh[event] = support
         self.gh[event] = instances_by_granule
         self._candidates = None
-        self._columns.pop(event, None)
+        if columns is None:
+            self._columns.pop(event, None)
+        else:
+            self._columns[event] = dict(columns)
 
     def support_of(self, event: str) -> SupportLike:
         """Support set of a candidate event (``SUP_E``)."""

@@ -85,8 +85,14 @@ from repro.core.pattern import (
 )
 from repro.core.prune import PruningConfig
 from repro.core.results import MiningResult, MiningStats, SeasonalPattern
-from repro.core.seasonality import compute_seasons, is_candidate, is_frequent_seasonal
+from repro.core.seasonality import (
+    compute_seasons,
+    count_seasons_batch,
+    is_candidate,
+    is_frequent_seasonal,
+)
 from repro.core.supportset import (
+    SupportLike,
     SupportSet,
     default_backend,
     make_support_set,
@@ -811,6 +817,7 @@ class ESTPM:
         with span("estpm/step2.1/hlh1_scan") as scan_span:
             event_supports = sorted(self.dseq.event_support(backend).items())
             scan_span.set(events=len(event_supports))
+        candidates: list[tuple[str, SupportLike]] = []
         for event, support in event_supports:
             if self.series_filter is not None and series_of(event) not in self.series_filter:
                 stats.n_events_pruned += 1
@@ -821,16 +828,37 @@ class ESTPM:
             stats.n_events_scanned += 1
             if self.pruning.apriori and not is_candidate(len(support), params):
                 continue
-            instances_by_granule = {}
+            candidates.append((event, support))
+        # Batched frequency gate: every candidate's packed bit positions
+        # run through the chain counter in one pass, early-exiting per
+        # event at min_season; the full SeasonView is materialized only
+        # for the frequent survivors below.
+        with span("estpm/step2.1/season_gate", events=len(candidates)):
+            season_counts = count_seasons_batch(
+                [support for _, support in candidates],
+                params,
+                stop_at=params.min_season,
+            )
+        for (event, support), n_seasons in zip(candidates, season_counts):
+            instances_by_granule: dict[int, list] = {}
+            columns = None
             if need_instances:
-                instances_by_granule = {
-                    position: self.dseq.instances_at(position, event)
-                    for position in support
-                }
-            hlh1.add_event(event, support, instances_by_granule)
-            # Gate with the early-exit chain counter; the full SeasonView
-            # is materialized only for the frequent survivors.
-            if is_frequent_seasonal(support, params):
+                # The columnar front end already holds per-granule instance
+                # tables; hand them straight to HLH1 instead of re-walking
+                # the rows (scalar-built databases fall back to row walks).
+                columns = self.dseq.prebuilt_columns(event)
+                if columns is not None:
+                    instances_by_granule = {
+                        granule: list(column.instances)
+                        for granule, column in columns.items()
+                    }
+                else:
+                    instances_by_granule = {
+                        position: self.dseq.instances_at(position, event)
+                        for position in support
+                    }
+            hlh1.add_event(event, support, instances_by_granule, columns=columns)
+            if n_seasons >= params.min_season:
                 patterns.append(
                     SeasonalPattern(
                         single_event_pattern(event), compute_seasons(support, params)

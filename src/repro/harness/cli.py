@@ -28,11 +28,14 @@ bitset|list`` for the physical support-set representation, and
 ``--kernel array|sweep|reference`` for the step-2.2
 instance-enumeration kernel (``array`` = the vectorized bulk-boundary
 engine, the default; ``sweep`` = the columnar tuple sweep join;
-``reference`` = the object-at-a-time parity loops).  ``--keep-pool``
-keeps one persistent worker pool alive for the whole command, so
-multi-level and multi-experiment runs reuse the same workers instead of
-spawning a pool per mining level.  All combinations return identical
-pattern sets.
+``reference`` = the object-at-a-time parity loops), and ``--frontend
+columnar|scalar`` for the step-1 DSEQ builder (``columnar`` = one-pass
+vectorized run detection that also primes the step-2.1 supports and
+instance columns, the default; ``scalar`` = the granule-by-granule
+parity reference).  ``--keep-pool`` keeps one persistent worker pool
+alive for the whole command, so multi-level and multi-experiment runs
+reuse the same workers instead of spawning a pool per mining level.
+All combinations return identical pattern sets.
 
 Telemetry
 ---------
@@ -85,6 +88,7 @@ from repro.obs import (
     write_trace,
 )
 from repro.obs.logging import LEVELS, configure_logging, get_logger
+from repro.transform.sequence_db import FRONTEND_KERNELS
 
 logger = get_logger(__name__)
 
@@ -134,6 +138,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "bulk boundaries + batched classification, the default), sweep "
             "(columnar tuple sweep join), or reference (object-at-a-time "
             "parity loops); all kernels return identical pattern sets",
+        )
+        command_parser.add_argument(
+            "--frontend",
+            default=None,
+            choices=sorted(FRONTEND_KERNELS),
+            help="step-1 DSEQ builder: columnar (one-pass vectorized run "
+            "detection that also primes step-2.1 supports and instance "
+            "columns, the default) or scalar (granule-by-granule parity "
+            "reference); both produce identical rows and pattern sets",
         )
 
     def add_telemetry_arguments(command_parser: argparse.ArgumentParser) -> None:
@@ -264,6 +277,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="step-2.2 instance-enumeration kernel (array/sweep/reference); "
         "all kernels return identical pattern sets",
     )
+    stream_parser.add_argument(
+        "--frontend", default=None, choices=sorted(FRONTEND_KERNELS),
+        help="granule materialization front end: columnar (one region "
+        "pass per push) or scalar (granule-by-granule reference); both "
+        "append identical rows",
+    )
     add_telemetry_arguments(stream_parser)
 
     query_parser = sub.add_parser(
@@ -387,7 +406,9 @@ def _dispatch(args) -> int:
     if args.command == "run":
         spec = _executor_spec(args)
         try:
-            with engine_defaults(spec, args.support_backend, args.kernel):
+            with engine_defaults(
+                spec, args.support_backend, args.kernel, args.frontend
+            ):
                 for artifact_id in args.ids:
                     print(run_experiment(artifact_id, profile=args.profile).render())
                     print()
@@ -402,6 +423,7 @@ def _dispatch(args) -> int:
                 executor=spec,
                 support_backend=args.support_backend,
                 kernel=args.kernel,
+                frontend=args.frontend,
                 measure_memory=not args.no_memory,
                 trace_path=args.trace,
             )
@@ -423,12 +445,15 @@ def _dispatch(args) -> int:
             kernel=args.kernel,
         )
         try:
-            if args.approximate:
-                result = ASTPM(
-                    dataset.dsyb, dataset.ratio, params, dseq=dataset.dseq(), **engine
-                ).mine()
-            else:
-                result = ESTPM(dataset.dseq(), params, **engine).mine()
+            # The front end acts at dseq-build time, so it is installed as
+            # the process default around the dataset.dseq() call.
+            with engine_defaults(frontend=args.frontend):
+                if args.approximate:
+                    result = ASTPM(
+                        dataset.dsyb, dataset.ratio, params, dseq=dataset.dseq(), **engine
+                    ).mine()
+                else:
+                    result = ESTPM(dataset.dseq(), params, **engine).mine()
         finally:
             _close_executor(spec)
         print(
@@ -475,7 +500,8 @@ def _run_multigrain(args) -> int:
         kernel=args.kernel,
     )
     try:
-        result = miner.mine()
+        with engine_defaults(frontend=args.frontend):
+            result = miner.mine()
     finally:
         _close_executor(spec)
     print(
@@ -514,6 +540,7 @@ def _run_stream(args) -> int:
         support_backend=args.support_backend,
         reanchor_every=args.reanchor_every,
         kernel=args.kernel,
+        frontend=args.frontend,
     ):
         total_seconds += delta.seconds
         print(f"  {delta.describe()}")

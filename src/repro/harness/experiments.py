@@ -29,6 +29,7 @@ from repro.datasets.dataset import Dataset
 from repro.datasets.registry import DATASET_BUILDERS, PROFILES, load_dataset
 from repro.datasets.scaling import scale_series
 from repro.events.relations import RelationConfig
+from repro.transform.sequence_db import set_default_frontend
 from repro.harness.calendar_map import describe_seasonal_occurrence
 from repro.harness.figures import Figure
 from repro.harness.tables import Table
@@ -48,16 +49,17 @@ def engine_defaults(
     executor: MiningExecutor | str | None = None,
     support_backend: str | None = None,
     kernel: str | None = None,
+    frontend: str | None = None,
 ):
     """Temporarily set the process-wide mining engine defaults.
 
     The experiment functions build their miners internally, so the harness
     selects the execution backend (``serial`` / ``parallel`` / ``threads``),
-    the support-set representation (``bitset`` / ``list``), and the
-    step-2.2 kernel (``array`` / ``sweep`` / ``reference``) through the
-    process-wide defaults rather than threading three extra parameters
-    through every experiment signature.  Restores the previous defaults
-    on exit.
+    the support-set representation (``bitset`` / ``list``), the step-2.2
+    kernel (``array`` / ``sweep`` / ``reference``), and the step-1 front
+    end (``columnar`` / ``scalar``) through the process-wide defaults
+    rather than threading four extra parameters through every experiment
+    signature.  Restores the previous defaults on exit.
 
     An ``executor`` given by *name* is resolved here to a single instance
     installed for the whole scope, so a pool-backed backend reuses one
@@ -65,7 +67,8 @@ def engine_defaults(
     instance and closes it on exit.  An executor *instance* is installed
     as-is and left open -- the caller decides when its pool dies.
     """
-    previous_executor = previous_backend = previous_kernel = None
+    previous_executor = previous_backend = None
+    previous_kernel = previous_frontend = None
     owned: MiningExecutor | None = None
     try:
         if executor is not None:
@@ -76,6 +79,8 @@ def engine_defaults(
             previous_backend = set_default_backend(support_backend)
         if kernel is not None:
             previous_kernel = set_default_kernel(kernel)
+        if frontend is not None:
+            previous_frontend = set_default_frontend(frontend)
         yield
     finally:
         if previous_executor is not None:
@@ -84,6 +89,8 @@ def engine_defaults(
             set_default_backend(previous_backend)
         if previous_kernel is not None:
             set_default_kernel(previous_kernel)
+        if previous_frontend is not None:
+            set_default_frontend(previous_frontend)
         if owned is not None:
             owned.close()
 
@@ -716,21 +723,28 @@ def run_experiment(
     executor: MiningExecutor | str | None = None,
     support_backend: str | None = None,
     kernel: str | None = None,
+    frontend: str | None = None,
     **overrides,
 ):
     """Run one experiment by its paper artifact id.
 
-    ``executor`` / ``support_backend`` / ``kernel`` select the mining
-    engine backends for this experiment via :func:`engine_defaults` (an
-    executor resolved from a name is closed when the experiment finishes;
-    an instance's pool is left alive for the caller's next experiment).
+    ``executor`` / ``support_backend`` / ``kernel`` / ``frontend`` select
+    the mining engine backends for this experiment via
+    :func:`engine_defaults` (an executor resolved from a name is closed
+    when the experiment finishes; an instance's pool is left alive for
+    the caller's next experiment).
     """
     key = artifact_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {artifact_id!r}; choose from {sorted(EXPERIMENTS)}"
         )
-    if executor is None and support_backend is None and kernel is None:
+    if (
+        executor is None
+        and support_backend is None
+        and kernel is None
+        and frontend is None
+    ):
         return EXPERIMENTS[key](profile=profile, **overrides)
-    with engine_defaults(executor, support_backend, kernel):
+    with engine_defaults(executor, support_backend, kernel, frontend):
         return EXPERIMENTS[key](profile=profile, **overrides)

@@ -21,19 +21,27 @@ counterparts:
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Sequence
-
-import numpy as np
 
 from repro.events.sequence import TemporalSequence
 from repro.exceptions import SymbolizationError
 from repro.symbolic.alphabet import Alphabet
 from repro.symbolic.database import SymbolicDatabase
-from repro.symbolic.mapping import SymbolMapper, ThresholdMapper
+from repro.symbolic.mapping import (
+    SymbolMapper,
+    ThresholdMapper,
+    interp_quantiles,
+    quantile_breakpoints,
+)
 from repro.symbolic.series import TimeSeries
 from repro.transform.sequence_db import (
+    FRONTEND_COLUMNAR,
     TemporalSequenceDatabase,
+    build_region_rows,
+    default_frontend,
     granule_instances,
+    validate_frontend,
 )
 
 MODE_FROZEN = "frozen"
@@ -48,16 +56,16 @@ def quantile_thresholds(values, alphabet: Alphabet) -> ThresholdMapper:
     :class:`~repro.symbolic.mapping.QuantileMapper` exactly (same
     breakpoints, same side="left" binning); unlike QuantileMapper the
     returned mapper then encodes *future* values without re-fitting.
+    Backend-dispatched like the mappers themselves (``np.quantile`` or
+    the bit-identical pure-Python twin).
     """
-    data = np.asarray(values, dtype=float)
-    if data.size == 0:
+    data = [float(v) for v in values]
+    if not data:
         raise SymbolizationError("cannot fit quantile thresholds on no values")
     n_bins = len(alphabet)
     if n_bins == 1:
         return ThresholdMapper((), alphabet)
-    quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
-    breakpoints = tuple(float(b) for b in np.quantile(data, quantiles))
-    return ThresholdMapper(breakpoints, alphabet)
+    return ThresholdMapper(tuple(quantile_breakpoints(data, n_bins)), alphabet)
 
 
 def _frozen_fit(name: str, values, alphabet: Alphabet) -> ThresholdMapper:
@@ -71,13 +79,13 @@ def _frozen_fit(name: str, values, alphabet: Alphabet) -> ThresholdMapper:
     """
     mapper = quantile_thresholds(values, alphabet)
     breakpoints = mapper.breakpoints
-    data = np.asarray(values, dtype=float)
-    constant_window = bool(data.size) and float(data.min()) == float(data.max())
+    data = [float(v) for v in values]
+    constant_window = bool(data) and min(data) == max(data)
     collapsed = len(breakpoints) >= 2 and len(set(breakpoints)) == 1
     if breakpoints and (constant_window or collapsed):
         raise SymbolizationError(
             f"degenerate fitting window for series {name!r}: the "
-            f"{data.size}-value window yields all-equal quantile "
+            f"{len(data)}-value window yields all-equal quantile "
             f"breakpoints at {breakpoints[0]!r}, so frozen breakpoints "
             "would bin every future value into at most two of the "
             f"{len(alphabet)} symbols; widen the fitting window, use "
@@ -96,8 +104,14 @@ class StreamingSymbolizer:
     mode:
         ``"frozen"``: breakpoints are fixed (from ``mappers`` or the
         first :meth:`push`, which acts as the fitting window).
-        ``"rolling"``: breakpoints re-fit on the full raw history at
-        every push and apply to the newly pushed values only.
+        ``"rolling"``: breakpoints re-fit over the full raw history at
+        every push and apply to the newly pushed values only.  The refit
+        is incremental -- new values sorted-insert into a maintained
+        sorted history and the breakpoints interpolate from it in
+        O(alphabet) -- so a push costs O(block x log history), not the
+        O(history) full re-quantile of the naive formulation; the
+        breakpoints are bit-identical to a full refit
+        (:func:`~repro.symbolic.mapping.interp_quantiles`).
     mappers:
         Pre-fitted mappers per series (frozen mode only); series without
         a mapper are fitted on their first push.
@@ -123,6 +137,14 @@ class StreamingSymbolizer:
                 raise SymbolizationError(f"mapper for unknown series {name!r}")
         #: Raw history per series (rolling refits; checkpoints restore it).
         self.history: dict[str, list[float]] = {name: [] for name in alphabets}
+        #: Sorted twin of ``history`` (rolling mode only), maintained by
+        #: sorted insertion; rebuilt lazily when a checkpoint restore
+        #: replaces ``history`` wholesale.
+        self._sorted_history: dict[str, list[float]] = {}
+        #: Work units of the most recent rolling refit (inserted values +
+        #: interpolated breakpoints) -- what the O(block) regression test
+        #: pins; stays 0 in frozen mode.
+        self.last_refit_cost: int = 0
 
     @classmethod
     def fit(
@@ -167,9 +189,7 @@ class StreamingSymbolizer:
         blocks: dict[str, tuple[Alphabet, list[float]]] = {}
         for name, block in values.items():
             alphabet = self._alphabet_of(name)
-            blocks[name] = (
-                alphabet, [float(v) for v in np.asarray(block, dtype=float)]
-            )
+            blocks[name] = (alphabet, [float(v) for v in block])
         fitted: dict[str, SymbolMapper] = {}
         if self.mode == MODE_FROZEN:
             for name, (alphabet, block_list) in blocks.items():
@@ -185,7 +205,7 @@ class StreamingSymbolizer:
                 continue
             self.history[name].extend(block_list)
             if self.mode == MODE_ROLLING:
-                mapper = quantile_thresholds(self.history[name], alphabet)
+                mapper = self._rolling_refit(name, alphabet, block_list)
             else:
                 mapper = self.mappers.get(name)
                 if mapper is None:
@@ -193,6 +213,37 @@ class StreamingSymbolizer:
             encoded = mapper.encode(TimeSeries(name, tuple(block_list)))
             out[name] = encoded.symbols
         return out
+
+    def _rolling_refit(
+        self, name: str, alphabet: Alphabet, block: list[float]
+    ) -> ThresholdMapper:
+        """Re-fit rolling breakpoints after ``block`` joined the history.
+
+        ``self.history[name]`` has already been extended with ``block``.
+        The sorted twin absorbs the new values by insertion and the
+        breakpoints interpolate straight from it -- identical floats to
+        ``quantile_thresholds(self.history[name], alphabet)`` without
+        touching the older values.  A sorted twin whose length disagrees
+        with the history (checkpoint restore swapped the history out
+        underneath us) is rebuilt once from scratch.
+        """
+        history = self.history[name]
+        sorted_history = self._sorted_history.get(name)
+        if (
+            sorted_history is None
+            or len(sorted_history) + len(block) != len(history)
+        ):
+            sorted_history = self._sorted_history[name] = sorted(history)
+        else:
+            for value in block:
+                insort(sorted_history, value)
+        n_bins = len(alphabet)
+        self.last_refit_cost = len(block) + (n_bins - 1)
+        if n_bins == 1:
+            return ThresholdMapper((), alphabet)
+        return ThresholdMapper(
+            tuple(interp_quantiles(sorted_history, n_bins)), alphabet
+        )
 
 
 class StreamingDatabase:
@@ -206,10 +257,20 @@ class StreamingDatabase:
     Def. 3.6 requires of a symbolic database.
     """
 
-    def __init__(self, ratio: int, alphabets: dict[str, Alphabet] | None = None):
+    def __init__(
+        self,
+        ratio: int,
+        alphabets: dict[str, Alphabet] | None = None,
+        frontend: str | None = None,
+    ):
         if ratio < 1:
             raise SymbolizationError(f"sequence mapping ratio must be >= 1, got {ratio}")
         self.ratio = ratio
+        #: Which row builder materializes complete granules: ``None``
+        #: follows the process-wide default front end; ``"columnar"``
+        #: builds all complete granules of a push in one region pass,
+        #: ``"scalar"`` keeps the granule-by-granule reference loop.
+        self.frontend = None if frontend is None else validate_frontend(frontend)
         self.alphabets: dict[str, Alphabet] = dict(alphabets or {})
         #: Full symbol history per series, in arrival order.
         self.symbols: dict[str, list[str]] = {
@@ -222,7 +283,7 @@ class StreamingDatabase:
 
     @classmethod
     def from_symbolic(
-        cls, dsyb: SymbolicDatabase, ratio: int
+        cls, dsyb: SymbolicDatabase, ratio: int, frontend: str | None = None
     ) -> "StreamingDatabase":
         """Seed a streaming database from an existing DSYB.
 
@@ -233,6 +294,7 @@ class StreamingDatabase:
         database = cls(
             ratio,
             {series.name: series.alphabet for series in dsyb},
+            frontend=frontend,
         )
         database.append_symbols({series.name: series.symbols for series in dsyb})
         return database
@@ -336,8 +398,31 @@ class StreamingDatabase:
         return self._materialize()
 
     def _materialize(self) -> list[TemporalSequence]:
-        """Turn every complete ``ratio``-block into one appended granule."""
-        new_rows: list[TemporalSequence] = []
+        """Turn every complete ``ratio``-block into appended granules.
+
+        The columnar front end builds all of a push's complete granules
+        with one region pass per series
+        (:func:`~repro.transform.sequence_db.build_region_rows`); the
+        scalar front end keeps the original granule-by-granule loop.
+        Both append identical rows.
+        """
+        n_new = self.pending_instants() // self.ratio
+        if n_new <= 0:
+            return []
+        frontend = self.frontend or default_frontend()
+        if frontend == FRONTEND_COLUMNAR:
+            new_rows = build_region_rows(
+                self.symbols,
+                self._consumed,
+                n_new,
+                self.ratio,
+                self._consumed // self.ratio + 1,
+            )
+            for row in new_rows:
+                self.dseq.append_row(row)
+            self._consumed += n_new * self.ratio
+            return new_rows
+        new_rows = []
         while self.pending_instants() >= self.ratio:
             position = self._consumed // self.ratio + 1
             sequence = TemporalSequence(position=position)

@@ -138,6 +138,7 @@ def replay_dataset(
     support_backend: str | None = None,
     reanchor_every: int | None = None,
     kernel: str | None = None,
+    frontend: str | None = None,
 ) -> Iterator[tuple[StreamingMiningService, PatternDelta]]:
     """Replay a registered dataset's symbol stream through a live service.
 
@@ -163,6 +164,7 @@ def replay_dataset(
     database = StreamingDatabase(
         dataset.ratio,
         {series.name: series.alphabet for series in dataset.dsyb},
+        frontend=frontend,
     )
     service = StreamingMiningService(
         database,

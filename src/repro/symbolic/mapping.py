@@ -9,15 +9,21 @@ Two general-purpose mappers are provided:
 
 SAX (Lin et al. [41]), which the paper cites as an example mapping, lives in
 :mod:`repro.symbolic.sax` and follows the same protocol.
+
+Binning is vectorized on the numpy compute backend (one ``searchsorted``
+over the whole series, one object-array lookup for the symbols) with
+pure-Python twins under ``REPRO_COMPUTE=python``.  The scalar quantile
+helpers replicate numpy's linear-interpolation quantile bit-for-bit so
+the two backends emit byte-identical breakpoints.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
-import numpy as np
-
+from repro.core.config import get_numpy
 from repro.exceptions import SymbolizationError
 from repro.symbolic.alphabet import Alphabet
 from repro.symbolic.series import SymbolicSeries, TimeSeries
@@ -32,8 +38,48 @@ class SymbolMapper(Protocol):
         ...
 
 
+def interp_quantiles(sorted_values: Sequence[float], n_bins: int) -> list[float]:
+    """Interior equi-depth breakpoints of an already-sorted value sequence.
+
+    Pure-Python replica of ``np.quantile(values,
+    np.linspace(0, 1, n_bins + 1)[1:-1])`` with the default linear
+    interpolation: the probabilities are ``i * (1/n_bins)`` and each
+    quantile lerps between its two bracketing order statistics using
+    numpy's exact ``_lerp`` formula (``b - d*(1-t)`` for ``t >= 0.5``),
+    so the breakpoints match the numpy path to the last bit.  The
+    streaming rolling refit calls this directly on its incrementally
+    maintained sorted history -- O(n_bins) per refit, no re-sort.
+    """
+    n = len(sorted_values)
+    step = 1.0 / n_bins
+    breakpoints: list[float] = []
+    for i in range(1, n_bins):
+        position = (i * step) * (n - 1)
+        low = int(position)
+        t = position - low
+        a = sorted_values[low]
+        b = sorted_values[low + 1] if low + 1 < n else a
+        d = b - a
+        breakpoints.append(b - d * (1.0 - t) if t >= 0.5 else a + d * t)
+    return breakpoints
+
+
+def quantile_breakpoints(values: Sequence[float], n_bins: int) -> list[float]:
+    """Interior equi-depth breakpoints of ``values`` (any order).
+
+    Dispatches to ``np.quantile`` on the numpy backend and to the
+    sort + :func:`interp_quantiles` twin otherwise; both produce the
+    same floats.
+    """
+    np = get_numpy()
+    if np is not None:
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        return [float(b) for b in np.quantile(np.asarray(values, dtype=float), quantiles)]
+    return interp_quantiles(sorted(float(v) for v in values), n_bins)
+
+
 def _encode_with_breakpoints(
-    series: TimeSeries, breakpoints: np.ndarray, alphabet: Alphabet
+    series: TimeSeries, breakpoints: Sequence[float], alphabet: Alphabet
 ) -> SymbolicSeries:
     """Shared binning core: value v gets bin ``#{b in breakpoints : b < v}``.
 
@@ -47,10 +93,20 @@ def _encode_with_breakpoints(
             f"{len(alphabet)} symbols need {len(alphabet) - 1} breakpoints, "
             f"got {len(breakpoints)}"
         )
-    if np.any(np.diff(breakpoints) < 0):
+    if any(b < a for a, b in zip(breakpoints, breakpoints[1:])):
         raise SymbolizationError("breakpoints must be non-decreasing")
-    bins = np.searchsorted(breakpoints, series.as_array(), side="left")
-    symbols = tuple(alphabet.symbols[b] for b in bins)
+    np = get_numpy()
+    if np is not None:
+        bins = np.searchsorted(
+            np.asarray(breakpoints, dtype=float), series.as_array(), side="left"
+        )
+        return SymbolicSeries.from_codes(series.name, bins, alphabet)
+    else:
+        points = [float(b) for b in breakpoints]
+        alphabet_symbols = alphabet.symbols
+        symbols = tuple(
+            alphabet_symbols[bisect_left(points, value)] for value in series.values
+        )
     return SymbolicSeries(series.name, symbols, alphabet)
 
 
@@ -71,9 +127,7 @@ class ThresholdMapper:
     alphabet: Alphabet
 
     def encode(self, series: TimeSeries) -> SymbolicSeries:
-        return _encode_with_breakpoints(
-            series, np.asarray(self.breakpoints, dtype=float), self.alphabet
-        )
+        return _encode_with_breakpoints(series, self.breakpoints, self.alphabet)
 
 
 @dataclass(frozen=True)
@@ -93,8 +147,7 @@ class QuantileMapper:
             return SymbolicSeries(
                 series.name, (self.alphabet.symbols[0],) * len(series), self.alphabet
             )
-        quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
-        breakpoints = np.quantile(series.as_array(), quantiles)
+        breakpoints = quantile_breakpoints(series.values, n_bins)
         return _encode_with_breakpoints(series, breakpoints, self.alphabet)
 
 

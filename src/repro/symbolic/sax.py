@@ -9,14 +9,20 @@ the standard two steps:
 
 The normal quantile is computed with the Acklam rational approximation so
 the core library stays scipy-free (scipy is only a test dependency).
+
+Both steps are vectorized when the numpy compute backend is active (one
+reshape-mean for all PAA frames, one ``searchsorted`` + object-array
+lookup for all symbols) and fall back to pure-Python twins under
+``REPRO_COMPUTE=python`` -- see :func:`repro.core.config.get_numpy`.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.core.config import get_numpy
 from repro.exceptions import SymbolizationError
 from repro.symbolic.alphabet import Alphabet
 from repro.symbolic.series import SymbolicSeries, TimeSeries
@@ -50,12 +56,12 @@ def inverse_normal_cdf(p: float) -> float:
     if not 0.0 < p < 1.0:
         raise SymbolizationError(f"quantile probability must be in (0,1), got {p}")
     if p < _P_LOW:
-        q = np.sqrt(-2.0 * np.log(p))
+        q = math.sqrt(-2.0 * math.log(p))
         return (((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]) / (
             (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
         )
     if p > _P_HIGH:
-        q = np.sqrt(-2.0 * np.log(1.0 - p))
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
         return -(((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]) / (
             (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
         )
@@ -66,29 +72,46 @@ def inverse_normal_cdf(p: float) -> float:
     )
 
 
-def sax_breakpoints(alphabet_size: int) -> np.ndarray:
+def sax_breakpoints(alphabet_size: int) -> tuple[float, ...]:
     """Equiprobable standard-normal breakpoints for ``alphabet_size`` bins."""
     if alphabet_size < 2:
         raise SymbolizationError(f"SAX needs an alphabet of >= 2, got {alphabet_size}")
-    probs = np.arange(1, alphabet_size) / alphabet_size
-    return np.array([inverse_normal_cdf(p) for p in probs])
+    return tuple(
+        inverse_normal_cdf(i / alphabet_size) for i in range(1, alphabet_size)
+    )
 
 
-def paa(values: np.ndarray, frame: int) -> np.ndarray:
+def paa(values, frame: int):
     """Piecewise aggregate approximation with frame size ``frame``.
 
     Trailing values that do not fill a frame are averaged into a final
-    shorter frame, so no data is silently dropped.
+    shorter frame, so no data is silently dropped.  Returns a numpy array
+    on the numpy backend (all full frames averaged by one reshaped
+    ``mean(axis=1)``) and a plain list under ``REPRO_COMPUTE=python``.
     """
     if frame < 1:
         raise SymbolizationError(f"PAA frame size must be >= 1, got {frame}")
+    np = get_numpy()
+    if np is not None:
+        arr = np.asarray(values, dtype=float)
+        if frame == 1:
+            return arr.copy()
+        n_full = len(arr) // frame
+        means = arr[: n_full * frame].reshape(n_full, frame).mean(axis=1)
+        if len(arr) % frame:
+            means = np.append(means, arr[n_full * frame :].mean())
+        return means
+    data = [float(v) for v in values]
     if frame == 1:
-        return values.copy()
-    n_full = len(values) // frame
-    means = [values[i * frame : (i + 1) * frame].mean() for i in range(n_full)]
-    if len(values) % frame:
-        means.append(values[n_full * frame :].mean())
-    return np.asarray(means)
+        return data
+    n_full = len(data) // frame
+    means = [
+        math.fsum(data[i * frame : (i + 1) * frame]) / frame for i in range(n_full)
+    ]
+    if len(data) % frame:
+        tail = data[n_full * frame :]
+        means.append(math.fsum(tail) / len(tail))
+    return means
 
 
 @dataclass(frozen=True)
@@ -105,6 +128,9 @@ class SaxMapper:
     frame: int = 1
 
     def encode(self, series: TimeSeries) -> SymbolicSeries:
+        np = get_numpy()
+        if np is None:
+            return self._encode_scalar(series)
         values = series.as_array()
         std = values.std()
         if std == 0.0:
@@ -113,12 +139,32 @@ class SaxMapper:
             return SymbolicSeries(series.name, (mid,) * len(series), self.alphabet)
         normalized = (values - values.mean()) / std
         frames = paa(normalized, self.frame)
-        breakpoints = sax_breakpoints(len(self.alphabet))
+        breakpoints = np.asarray(sax_breakpoints(len(self.alphabet)))
         bins = np.searchsorted(breakpoints, frames, side="right")
+        codes = bins if self.frame == 1 else np.repeat(bins, self.frame)
+        codes = codes[: len(series)]
+        if len(codes) < len(series):  # short trailing frame was averaged
+            codes = np.append(codes, np.full(len(series) - len(codes), codes[-1]))
+        return SymbolicSeries.from_codes(series.name, codes, self.alphabet)
+
+    def _encode_scalar(self, series: TimeSeries) -> SymbolicSeries:
+        """Pure-Python twin of :meth:`encode` (``REPRO_COMPUTE=python``)."""
+        values = series.values
+        n = len(values)
+        mean = math.fsum(values) / n
+        std = math.sqrt(math.fsum((v - mean) ** 2 for v in values) / n)
+        if std == 0.0:
+            mid = self.alphabet.symbols[len(self.alphabet) // 2]
+            return SymbolicSeries(series.name, (mid,) * n, self.alphabet)
+        normalized = [(v - mean) / std for v in values]
+        frames = paa(normalized, self.frame)
+        breakpoints = sax_breakpoints(len(self.alphabet))
+        alphabet_symbols = self.alphabet.symbols
         symbols: list[str] = []
-        for b in bins:
-            symbols.extend([self.alphabet.symbols[b]] * self.frame)
-        symbols = symbols[: len(series)]
-        if len(symbols) < len(series):  # short trailing frame was averaged
-            symbols.extend([symbols[-1]] * (len(series) - len(symbols)))
+        for value in frames:
+            symbol = alphabet_symbols[bisect_right(breakpoints, value)]
+            symbols.extend([symbol] * self.frame)
+        symbols = symbols[:n]
+        if len(symbols) < n:  # short trailing frame was averaged
+            symbols.extend([symbols[-1]] * (n - len(symbols)))
         return SymbolicSeries(series.name, tuple(symbols), self.alphabet)

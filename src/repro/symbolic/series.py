@@ -62,6 +62,12 @@ class SymbolicSeries:
     name: str
     symbols: tuple[str, ...]
     alphabet: Alphabet
+    #: Optional integer alphabet-index encoding of ``symbols``, attached
+    #: by the vectorized mappers (``codes[i]`` indexes
+    #: ``alphabet.symbols``).  The columnar DSEQ builder consumes it to
+    #: stay in machine arrays end to end; ``None`` whenever the series
+    #: was built symbol-first.
+    codes: object = field(default=None, repr=False, compare=False, hash=False)
     _counts: Counter = field(init=False, repr=False, compare=False, hash=False)
 
     def __post_init__(self) -> None:
@@ -75,6 +81,43 @@ class SymbolicSeries:
                 f"outside its alphabet {self.alphabet.symbols}"
             )
         object.__setattr__(self, "_counts", counts)
+
+    @classmethod
+    def from_codes(cls, name: str, codes, alphabet: Alphabet) -> "SymbolicSeries":
+        """Build from an integer code array (the vectorized mapper path).
+
+        ``codes`` is a numpy integer array indexing ``alphabet.symbols``.
+        The symbol tuple and the per-symbol counts are derived with two
+        array operations (``take`` and ``bincount``) instead of the
+        per-symbol ``Counter`` validation pass -- the codes themselves
+        are range-checked, which implies alphabet membership.
+        """
+        if len(codes) == 0:
+            raise SymbolizationError(f"symbolic series {name!r} is empty")
+        n_symbols = len(alphabet.symbols)
+        if int(codes.min()) < 0:
+            raise SymbolizationError(
+                f"series {name!r} has symbol codes outside its "
+                f"{n_symbols}-symbol alphabet"
+            )
+        counts = np.bincount(codes, minlength=n_symbols)
+        if len(counts) > n_symbols:
+            raise SymbolizationError(
+                f"series {name!r} has symbol codes outside its "
+                f"{n_symbols}-symbol alphabet"
+            )
+        lookup = np.asarray(alphabet.symbols, dtype=object)
+        series = object.__new__(cls)
+        object.__setattr__(series, "name", name)
+        object.__setattr__(series, "symbols", tuple(lookup[codes].tolist()))
+        object.__setattr__(series, "alphabet", alphabet)
+        object.__setattr__(series, "codes", codes)
+        object.__setattr__(
+            series,
+            "_counts",
+            Counter(dict(zip(alphabet.symbols, counts.tolist()))),
+        )
+        return series
 
     def __len__(self) -> int:
         return len(self.symbols)

@@ -1,0 +1,203 @@
+"""Property-based parity of the vectorized front end.
+
+Random symbol streams, raw series, and support sets must be handled
+identically by the columnar and scalar front ends under both compute
+backends: same DSEQ rows and supports, byte-identical symbolization,
+the same batched season counts, and equivalent step-2.1 results.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Alphabet,
+    ESTPM,
+    MiningParams,
+    SymbolicDatabase,
+    build_sequence_database,
+)
+from repro.core.config import set_compute_backend
+from repro.core.results import results_equivalent
+from repro.core.seasonality import count_seasons, count_seasons_batch
+from repro.symbolic.mapping import QuantileMapper, ThresholdMapper
+from repro.symbolic.sax import SaxMapper
+from repro.symbolic.series import TimeSeries
+
+
+@st.composite
+def databases(draw):
+    n_series = draw(st.integers(1, 3))
+    # Long enough to cross the columnar builder's numpy cut-over in at
+    # least some examples (length * ratio vs _NUMPY_MIN_SYMBOLS).
+    length = draw(st.integers(4, 260))
+    alphabet = draw(st.sampled_from(["01", "abc"]))
+    rows = {
+        f"S{i}": "".join(
+            draw(st.lists(st.sampled_from(alphabet), min_size=length, max_size=length))
+        )
+        for i in range(n_series)
+    }
+    ratio = draw(st.integers(1, 5).filter(lambda r: r <= length))
+    return SymbolicDatabase.from_rows(rows, Alphabet(tuple(alphabet))), ratio
+
+
+@st.composite
+def raw_series(draw):
+    length = draw(st.integers(8, 240))
+    values = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    return TimeSeries("R", tuple(values))
+
+
+@st.composite
+def support_sets(draw):
+    return draw(
+        st.lists(
+            st.lists(st.integers(1, 60), min_size=1, max_size=30, unique=True).map(
+                sorted
+            ),
+            min_size=0,
+            max_size=5,
+        )
+    )
+
+
+def _each_backend(check):
+    for backend in (None, "python"):
+        set_compute_backend(backend)
+        try:
+            check()
+        finally:
+            set_compute_backend(None)
+
+
+def _rows_and_supports(dseq):
+    rows = [(row.position, tuple(row.instances)) for row in dseq.rows]
+    supports = {
+        event: list(support.positions())
+        for event, support in dseq.event_support().items()
+    }
+    return rows, supports
+
+
+@given(databases())
+@settings(max_examples=60, deadline=None)
+def test_columnar_matches_scalar_on_both_backends(db_and_ratio):
+    dsyb, ratio = db_and_ratio
+    reference = None
+
+    def check():
+        nonlocal reference
+        columnar = _rows_and_supports(
+            build_sequence_database(dsyb, ratio, frontend="columnar")
+        )
+        scalar = _rows_and_supports(
+            build_sequence_database(dsyb, ratio, frontend="scalar")
+        )
+        assert columnar == scalar
+        if reference is None:
+            reference = scalar
+        else:
+            assert scalar == reference  # backends agree with each other
+
+    _each_backend(check)
+
+
+@given(raw_series(), st.sampled_from([2, 3, 5]))
+@settings(max_examples=60, deadline=None)
+def test_quantile_symbolization_byte_parity(series, n_bins):
+    alphabet = Alphabet.levels([f"L{i}" for i in range(n_bins)])
+    mapper = QuantileMapper(alphabet)
+    streams = []
+
+    def check():
+        streams.append(mapper.encode(series).symbols)
+
+    _each_backend(check)
+    assert streams[0] == streams[1]
+
+
+@given(raw_series(), st.sampled_from([2, 4]), st.sampled_from([1, 2, 3]))
+@settings(max_examples=60, deadline=None)
+def test_sax_symbolization_byte_parity(series, n_bins, frame):
+    alphabet = Alphabet.levels([f"L{i}" for i in range(n_bins)])
+    mapper = SaxMapper(alphabet, frame=frame)
+    streams = []
+
+    def check():
+        streams.append(mapper.encode(series).symbols)
+
+    _each_backend(check)
+    assert streams[0] == streams[1]
+
+
+@given(raw_series())
+@settings(max_examples=60, deadline=None)
+def test_threshold_symbolization_byte_parity(series):
+    mapper = ThresholdMapper((0.0,), Alphabet.binary())
+    streams = []
+
+    def check():
+        streams.append(mapper.encode(series).symbols)
+
+    _each_backend(check)
+    assert streams[0] == streams[1]
+
+
+@given(
+    support_sets(),
+    st.integers(1, 6),
+    st.integers(1, 8),
+    st.sampled_from([None, 2, 3]),
+)
+@settings(max_examples=60, deadline=None)
+def test_count_seasons_batch_matches_per_element(supports, max_period, min_density, stop_at):
+    params = MiningParams(
+        max_period=max_period,
+        min_density=min_density,
+        dist_interval=(1, 10),
+        min_season=2,
+    )
+
+    def check():
+        batched = count_seasons_batch(supports, params, stop_at=stop_at)
+        singles = [
+            count_seasons(support, params, stop_at=stop_at) for support in supports
+        ]
+        assert batched == singles
+
+    _each_backend(check)
+
+
+@given(databases())
+@settings(max_examples=25, deadline=None)
+def test_step21_results_equivalent_across_frontends(db_and_ratio):
+    dsyb, ratio = db_and_ratio
+    n_granules = dsyb.n_instants // ratio
+    if n_granules < 2:
+        return
+    params = MiningParams(
+        max_period=max(1, n_granules // 3),
+        min_density=1,
+        dist_interval=(1, max(2, n_granules // 2)),
+        min_season=2,
+        max_pattern_length=1,
+    )
+    results = []
+
+    def check():
+        for frontend in ("columnar", "scalar"):
+            dseq = build_sequence_database(dsyb, ratio, frontend=frontend)
+            results.append(ESTPM(dseq, params).mine())
+
+    _each_backend(check)
+    first = results[0]
+    for other in results[1:]:
+        assert results_equivalent(first, other)
