@@ -45,16 +45,16 @@ def test_fold_vs_rebuild_hierarchy(benchmark, record_artifact, name):
     builder, n_series = BUILDERS[name]
     dataset = scale_sequences(builder, N_SEQUENCES, n_series=n_series)
     ratios = [dataset.ratio * multiple for multiple in MULTIPLES]
-    settings = dict(
-        max_period_pct=0.4,
-        min_density_pct=2.0,
-        dist_interval=(
+    settings = {
+        "max_period_pct": 0.4,
+        "min_density_pct": 2.0,
+        "dist_interval": (
             dataset.dist_interval[0] * dataset.ratio,
             dataset.dist_interval[1] * dataset.ratio,
         ),
-        min_season=6,
-        max_pattern_length=1,
-    )
+        "min_season": 6,
+        "max_pattern_length": 1,
+    }
 
     def measure():
         started = time.perf_counter()

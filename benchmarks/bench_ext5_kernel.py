@@ -51,18 +51,18 @@ from repro.core.results import results_equivalent
 #: spanning the stream is the only season -- the quantity under test is
 #: the enumeration kernel, not the seasonality gate.
 REGIMES = {
-    "pairs": dict(
-        n_series=6, n_instants=9600, ratio=192,
-        params=dict(max_period=4, min_density=2, dist_interval=(0, 20),
-                    min_season=1, max_pattern_length=2),
-        min_speedup=2.0,
-    ),
-    "growth": dict(
-        n_series=4, n_instants=3600, ratio=96,
-        params=dict(max_period=4, min_density=2, dist_interval=(0, 20),
-                    min_season=3, max_pattern_length=3),
-        min_speedup=1.3,
-    ),
+    "pairs": {
+        "n_series": 6, "n_instants": 9600, "ratio": 192,
+        "params": {"max_period": 4, "min_density": 2, "dist_interval": (0, 20),
+                   "min_season": 1, "max_pattern_length": 2},
+        "min_speedup": 2.0,
+    },
+    "growth": {
+        "n_series": 4, "n_instants": 3600, "ratio": 96,
+        "params": {"max_period": 4, "min_density": 2, "dist_interval": (0, 20),
+                   "min_season": 3, "max_pattern_length": 3},
+        "min_speedup": 1.3,
+    },
 }
 
 

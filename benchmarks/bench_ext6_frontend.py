@@ -53,10 +53,10 @@ from repro.symbolic.series import TimeSeries
 #: keeps symbol runs multiple instants long, the regime where per-symbol
 #: work dominates the scalar arm; see frontend_workload).  The regimes
 #: pick the compute backend per arm and the CI floor.
-WORKLOAD = dict(n_granules=1600, n_series=8, alphabet_size=5, ratio=12, noise=0.05)
+WORKLOAD = {"n_granules": 1600, "n_series": 8, "alphabet_size": 5, "ratio": 12, "noise": 0.05}
 REGIMES = {
-    "numpy": dict(vec_backend=None, scalar_backend="python", min_speedup=2.0),
-    "python": dict(vec_backend="python", scalar_backend="python", min_speedup=1.2),
+    "numpy": {"vec_backend": None, "scalar_backend": "python", "min_speedup": 2.0},
+    "python": {"vec_backend": "python", "scalar_backend": "python", "min_speedup": 1.2},
 }
 
 

@@ -97,7 +97,7 @@ from repro.symbolic import (
 )
 from repro.transform import TemporalSequenceDatabase, build_sequence_database
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     # granularity

@@ -1,0 +1,130 @@
+"""Checked-in baseline for grandfathered findings.
+
+The baseline (``analysis-baseline.json`` at the repo root) records
+findings that are *known and deliberately accepted*, keyed by
+``(rule, path, symbol)`` -- line numbers are excluded on purpose so
+unrelated edits do not invalidate entries.  Every entry must carry a
+human-written ``justification``; ``--write-baseline`` emits ``FIXME``
+placeholders that the self-check test refuses to ship.
+
+A baseline entry that stops matching any finding is *stale* and is
+reported as an error: baselines only ever shrink, they never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Placeholder justification emitted by ``--write-baseline``.
+FIXME_JUSTIFICATION = "FIXME: justify or fix"
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+class Baseline:
+    """The set of accepted findings plus bookkeeping for staleness."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: dict[tuple[str, str, str], BaselineEntry] = {
+            entry.key: entry for entry in (entries or [])
+        }
+        self._matched: set[tuple[str, str, str]] = set()
+
+    def matches(self, finding: Finding) -> bool:
+        """True (and mark the entry used) when ``finding`` is baselined."""
+        key = finding.baseline_key()
+        if key in self.entries:
+            self._matched.add(key)
+            return True
+        return False
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that matched no finding in the last run."""
+        return [
+            entry
+            for key, entry in sorted(self.entries.items())
+            if key not in self._matched
+        ]
+
+    def unjustified_entries(self) -> list[BaselineEntry]:
+        """Entries still carrying the FIXME placeholder."""
+        return [
+            entry
+            for _, entry in sorted(self.entries.items())
+            if entry.justification.startswith("FIXME")
+        ]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load ``path``; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a baseline file (missing 'entries')")
+    entries = []
+    for raw in data["entries"]:
+        missing = {"rule", "path", "symbol", "justification"} - set(raw)
+        if missing:
+            raise ValueError(
+                f"{path}: baseline entry {raw!r} missing {sorted(missing)}"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                symbol=raw["symbol"],
+                justification=raw["justification"],
+            )
+        )
+    return Baseline(entries)
+
+
+def write_baseline(path: Path, findings: list[Finding], previous: Baseline) -> int:
+    """Write a baseline accepting ``findings``; keep existing justifications.
+
+    Returns the number of entries written.  New entries get the FIXME
+    placeholder -- the author must replace it before the self-check
+    passes, which is the point: baselining is a reviewed decision, not
+    an escape hatch.
+    """
+    entries: dict[tuple[str, str, str], BaselineEntry] = {}
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        kept = previous.entries.get(key)
+        entries[key] = kept or BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            symbol=finding.symbol,
+            justification=FIXME_JUSTIFICATION,
+        )
+    payload = {
+        "version": _SCHEMA_VERSION,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "symbol": entry.symbol,
+                "justification": entry.justification,
+            }
+            for _, entry in sorted(entries.items())
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,142 @@
+"""The analysis engine: discover files, index once, run every rule.
+
+The engine always analyzes ``src/repro`` (the package the contracts are
+about); ``extra_paths`` widens the scope to out-of-package code such as
+``scripts/`` and ``benchmarks/_shared.py``.  Findings then pass through
+two filters in order: per-line / per-file suppression comments, then the
+checked-in baseline.  Whatever survives is a live finding and fails the
+run; stale or FIXME baseline entries fail it too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.index import RepoIndex, build_index
+from repro.analysis.report import RunResult
+from repro.analysis.rules import ALL_RULES, Rule
+
+#: The scope every run covers, relative to the repo root.
+DEFAULT_SCOPE = ("src/repro",)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def discover_files(root: Path, extra_paths: Sequence[str] = ()) -> list[Path]:
+    """All ``.py`` files under the default scope plus ``extra_paths``.
+
+    Paths are de-duplicated and sorted so runs are deterministic; a
+    missing extra path is a hard error (a CI scope typo must not pass
+    silently as "nothing to analyze").
+    """
+    seen: set[Path] = set()
+    for raw in (*DEFAULT_SCOPE, *extra_paths):
+        target = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if not target.exists():
+            raise FileNotFoundError(f"analysis path does not exist: {raw}")
+        for path in _iter_python_files(target):
+            seen.add(path)
+    return sorted(seen)
+
+
+def _iter_python_files(target: Path) -> Iterator[Path]:
+    if target.is_file():
+        if target.suffix == ".py":
+            yield target
+        return
+    for path in target.rglob("*.py"):
+        if not any(part in _SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def build_repo_index(root: Path, extra_paths: Sequence[str] = ()) -> RepoIndex:
+    return build_index(root, discover_files(root, extra_paths))
+
+
+def _selects(token: str, rule_id: str) -> bool:
+    """``--select`` accepts exact rule ids (``CT001``) or whole
+    families by their alphabetic prefix (``CT``, ``RC``)."""
+    return rule_id == token or (token.isalpha() and rule_id.startswith(token))
+
+
+def run_rules(
+    repo: RepoIndex, rules: Iterable[type[Rule]] = ALL_RULES
+) -> list[Finding]:
+    """Every raw finding, before suppression/baseline filtering."""
+    findings: list[Finding] = []
+    for rule_class in rules:
+        findings.extend(rule_class().check(repo))
+    return findings
+
+
+def analyze(
+    root: Path,
+    extra_paths: Sequence[str] = (),
+    baseline: Baseline | None = None,
+    rules: Iterable[type[Rule]] = ALL_RULES,
+    select: Sequence[str] = (),
+) -> RunResult:
+    """One full run: index, check, filter, summarize."""
+    baseline = baseline or Baseline()
+    repo = build_repo_index(root, extra_paths)
+    rule_classes = list(rules)
+    if select:
+        wanted = set(select)
+        unknown = {
+            token
+            for token in wanted
+            if not any(_selects(token, rule.id) for rule in rule_classes)
+        }
+        rule_classes = [
+            rule
+            for rule in rule_classes
+            if any(_selects(token, rule.id) for token in wanted)
+        ]
+    else:
+        unknown = set()
+
+    live: list[Finding] = []
+    suppressed = 0
+    baselined = 0
+    for finding in run_rules(repo, rule_classes):
+        entry = repo.by_path.get(finding.path)
+        if entry is not None and entry.suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            suppressed += 1
+            continue
+        if baseline.matches(finding):
+            baselined += 1
+            continue
+        live.append(finding)
+
+    errors = [repo.errors[key] for key in sorted(repo.errors)]
+    for rule_id in sorted(unknown):
+        errors.append(f"--select names unknown rule {rule_id!r}")
+    if not select:
+        # Staleness is only decidable on a full-rule run: a --select
+        # subset never matches entries for the unselected rules.
+        for entry_obj in baseline.stale_entries():
+            errors.append(
+                "stale baseline entry (no matching finding -- remove it): "
+                f"{entry_obj.rule} {entry_obj.path} [{entry_obj.symbol}]"
+            )
+    for entry_obj in baseline.unjustified_entries():
+        errors.append(
+            "baseline entry lacks a justification (replace the FIXME): "
+            f"{entry_obj.rule} {entry_obj.path} [{entry_obj.symbol}]"
+        )
+    return RunResult(
+        findings=live,
+        suppressed=suppressed,
+        baselined=baselined,
+        errors=errors,
+        files=len(repo) + len(repo.errors),
+    )
+
+
+def rule_summaries(rules: Iterable[type[Rule]] = ALL_RULES) -> dict[str, str]:
+    return {rule.id: rule.summary for rule in rules}

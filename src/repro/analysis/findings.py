@@ -1,0 +1,59 @@
+"""Finding records produced by the contract rules.
+
+A finding pins one contract violation to a file location plus a *stable
+symbol* -- the name of the offending global, class, or import -- so the
+baseline can match grandfathered findings across unrelated edits (line
+numbers move; symbols do not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One contract violation.
+
+    Attributes
+    ----------
+    path:
+        Repository-relative POSIX path of the offending file.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule identifier (``CT001``, ``EP002``, ...).
+    symbol:
+        Stable anchor of the finding inside the file: the global,
+        class, attribute, or imported name the rule fired on.  Baseline
+        matching keys on ``(rule, path, symbol)``.
+    message:
+        Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    symbol: str = field(compare=False)
+    message: str = field(compare=False)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The identity the baseline matches on (line numbers excluded)."""
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able representation (the JSON reporter's row schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col RULE[symbol] message``."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule}[{self.symbol}] {self.message}"

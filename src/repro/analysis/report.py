@@ -1,0 +1,83 @@
+"""Reporters: human text and machine JSON.
+
+The JSON document is the CI artifact; its shape is pinned by
+``tests/test_analysis.py`` so downstream tooling can rely on it::
+
+    {
+      "version": 1,
+      "summary": {"findings": N, "suppressed": N, "baselined": N,
+                   "errors": N, "files": N},
+      "findings": [{"path", "line", "col", "rule", "symbol", "message"}],
+      "errors": ["..."]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+class RunResult:
+    """Everything one engine run produced."""
+
+    def __init__(
+        self,
+        findings: list[Finding],
+        suppressed: int,
+        baselined: int,
+        errors: list[str],
+        files: int,
+    ) -> None:
+        #: Live findings (not suppressed, not baselined), location-sorted.
+        self.findings = sorted(findings)
+        self.suppressed = suppressed
+        self.baselined = baselined
+        #: Parse failures, stale/unjustified baseline entries, config errors.
+        self.errors = errors
+        self.files = files
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def render_text(result: RunResult, rule_summaries: dict[str, str]) -> str:
+    lines = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    counts = (
+        f"{result.files} file(s) analyzed: "
+        f"{len(result.findings)} finding(s), "
+        f"{result.suppressed} suppressed, "
+        f"{result.baselined} baselined, "
+        f"{len(result.errors)} error(s)"
+    )
+    lines.append(counts)
+    if result.findings:
+        lines.append("")
+        lines.append("rules hit:")
+        for rule in sorted({finding.rule for finding in result.findings}):
+            lines.append(f"  {rule}: {rule_summaries.get(rule, '')}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: RunResult) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "errors": len(result.errors),
+            "files": result.files,
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+        "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,76 @@
+"""CT -- the REPRO_COMPUTE compute-twin contract (PR 6).
+
+Every vectorized path must have a pure-Python twin, selected through
+:func:`repro.core.config.get_numpy`.  A module that imports numpy
+directly bypasses the backend registry twice over: ``REPRO_COMPUTE=python``
+no longer disables it, and an environment without numpy cannot even
+import it -- which silently breaks the numpy-optional promise the
+pure-python-fallback CI leg exists to keep.
+
+* ``CT001``: ``import numpy`` at module scope anywhere outside
+  ``repro.core.config``.
+* ``CT002``: ``import numpy`` inside a function outside
+  ``repro.core.config`` -- call :func:`get_numpy` instead, so the
+  backend override and the one-shot import cache stay authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import RepoIndex
+from repro.analysis.rules.base import COMPUTE_REGISTRY_MODULE, Rule
+
+
+def _is_numpy(module: str) -> bool:
+    return module == "numpy" or module.startswith("numpy.")
+
+
+class ModuleScopeNumpyImport(Rule):
+    id = "CT001"
+    summary = (
+        "numpy imported at module scope outside repro.core.config; route "
+        "through get_numpy() so REPRO_COMPUTE keeps a pure-Python twin"
+    )
+
+    def check(self, repo: RepoIndex) -> Iterator[Finding]:
+        for entry in repo:
+            if entry.module == COMPUTE_REGISTRY_MODULE:
+                continue
+            for record in entry.imports:
+                if record.function_scope or not _is_numpy(record.module):
+                    continue
+                yield self.finding(
+                    entry,
+                    record.line,
+                    "numpy",
+                    "module-scope numpy import bypasses the REPRO_COMPUTE "
+                    "backend registry (and makes the module un-importable "
+                    "without numpy); use repro.core.config.get_numpy() "
+                    "inside the vectorized path and keep a pure twin",
+                )
+
+
+class FunctionScopeNumpyImport(Rule):
+    id = "CT002"
+    summary = (
+        "numpy imported inside a function outside repro.core.config; "
+        "call get_numpy() so the backend override applies"
+    )
+
+    def check(self, repo: RepoIndex) -> Iterator[Finding]:
+        for entry in repo:
+            if entry.module == COMPUTE_REGISTRY_MODULE:
+                continue
+            for record in entry.imports:
+                if not record.function_scope or not _is_numpy(record.module):
+                    continue
+                yield self.finding(
+                    entry,
+                    record.line,
+                    "numpy",
+                    "function-scope numpy import ignores REPRO_COMPUTE; "
+                    "call repro.core.config.get_numpy() (returns None when "
+                    "the pure-Python backend is selected)",
+                )

@@ -1,0 +1,90 @@
+"""OB -- the zero-overhead telemetry contract (PR 7).
+
+Hot packages (``core``, ``streaming``, ``transform``, ``multigrain``)
+may only emit telemetry through the guarded helpers (``inc``,
+``observe``, ``set_gauge``, ``span``): those compile to one module-flag
+check when tracing is off.  Direct use of ``registry()``, or direct
+construction of ``MetricRegistry`` / ``Histogram`` / ``Span``, pays
+allocation and locking on every call whether or not anyone is looking,
+which is exactly the overhead the obs layer promises not to add.
+
+* ``OB001``: direct registry/Span access from a hot package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import ModuleIndex, RepoIndex
+from repro.analysis.rules.base import OBS_HOT_PACKAGES, Rule, in_packages
+
+#: Names in ``repro.obs`` that hot code must not touch directly.
+_FORBIDDEN_NAMES = ("registry", "MetricRegistry", "Histogram", "Span")
+
+#: Modules the forbidden names live in.
+_OBS_MODULES = ("repro.obs", "repro.obs.counters", "repro.obs.trace")
+
+
+class DirectObsAccess(Rule):
+    id = "OB001"
+    summary = (
+        "hot-path package uses the obs registry/Span directly; only the "
+        "guarded helpers (inc/observe/set_gauge/span) are zero-overhead"
+    )
+
+    def check(self, repo: RepoIndex) -> Iterator[Finding]:
+        for entry in repo:
+            if not in_packages(entry.module, OBS_HOT_PACKAGES):
+                continue
+            yield from self._check_module(entry)
+
+    def _check_module(self, entry: ModuleIndex) -> Iterator[Finding]:
+        # Names bound by `from repro.obs import registry` style imports.
+        direct_names: set[str] = set()
+        for module in _OBS_MODULES:
+            for forbidden in _FORBIDDEN_NAMES:
+                direct_names |= entry.imported_name_aliases(module, forbidden)
+        # Aliases bound to the obs modules themselves (`import repro.obs as obs`).
+        module_aliases: set[str] = set()
+        for module in _OBS_MODULES:
+            module_aliases |= entry.import_aliases_of(module)
+
+        for record in entry.imports:
+            if record.module in _OBS_MODULES and record.name in _FORBIDDEN_NAMES:
+                yield self.finding(
+                    entry,
+                    record.line,
+                    record.name,
+                    f"{record.name} imported from {record.module} in a "
+                    "hot-path package; use the guarded helpers "
+                    "(inc/observe/set_gauge/span) so disabled telemetry "
+                    "costs one flag check",
+                )
+
+        for node in ast.walk(entry.tree):
+            name: str | None = None
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in direct_names
+            ):
+                name = node.func.id
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in _FORBIDDEN_NAMES
+                and isinstance(node.value, ast.Name)
+                and node.value.id in module_aliases
+            ):
+                name = node.attr
+            if name is None:
+                continue
+            yield self.finding(
+                entry,
+                node,
+                name,
+                f"direct {name} use in a hot-path package bypasses the "
+                "zero-overhead guard; route through inc/observe/"
+                "set_gauge/span",
+            )

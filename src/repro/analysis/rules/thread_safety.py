@@ -1,0 +1,136 @@
+"""TS -- the ThreadExecutor shared-state contract (PR 4).
+
+``ThreadExecutor`` runs group tasks in one process: any module-level
+mutable container reachable from a task path is shared across workers.
+The repo convention is explicit -- shared mutable module state must be
+``threading.local``, mutated only under a lock-like context manager
+(``with _LOCK:``), or carry a justified suppression/baseline entry
+(the interning caches' benign last-write-wins races are the canonical
+baselined case).
+
+* ``TS001``: module-level mutable container mutated from a function
+  without a lexical lock guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import ModuleIndex, RepoIndex
+from repro.analysis.rules.base import (
+    THREAD_SHARED_PACKAGES,
+    Rule,
+    build_parent_map,
+    enclosing_function,
+    guarded_by_lock,
+    in_packages,
+)
+
+#: Methods that mutate the container they are called on.
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "add",
+    "discard",
+    "update",
+    "setdefault",
+    "__setitem__",
+}
+
+
+def _threading_local_names(entry: ModuleIndex) -> set[str]:
+    """Module-level names bound to ``threading.local()`` instances."""
+    names: set[str] = set()
+    for node in entry.tree.body:
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        is_local = (
+            isinstance(func, ast.Attribute) and func.attr == "local"
+        ) or (isinstance(func, ast.Name) and func.id == "local")
+        if not is_local:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _mutated_global(node: ast.AST, shared: set[str]) -> tuple[str, ast.AST] | None:
+    """(name, anchor) when ``node`` mutates a shared module-level container."""
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in shared
+            ):
+                return target.value.id, node
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in shared
+            ):
+                return target.value.id, node
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in shared
+        ):
+            return func.value.id, node
+    return None
+
+
+class UnguardedSharedMutation(Rule):
+    id = "TS001"
+    summary = (
+        "module-level mutable container mutated from a function without a "
+        "lock guard (ThreadExecutor shares module state across workers)"
+    )
+
+    def check(self, repo: RepoIndex) -> Iterator[Finding]:
+        for entry in repo:
+            if not in_packages(entry.module, THREAD_SHARED_PACKAGES):
+                continue
+            shared = set(entry.mutable_globals) - _threading_local_names(entry)
+            if not shared:
+                continue
+            parents = build_parent_map(entry.tree)
+            seen: set[tuple[str, int]] = set()
+            for node in ast.walk(entry.tree):
+                hit = _mutated_global(node, shared)
+                if hit is None:
+                    continue
+                name, anchor = hit
+                function = enclosing_function(anchor, parents)
+                if function is None:
+                    continue  # module-scope initialization is single-threaded
+                if guarded_by_lock(anchor, parents):
+                    continue
+                key = (name, anchor.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    entry,
+                    anchor,
+                    name,
+                    f"module-level mutable {name!r} is mutated in "
+                    f"{function.name}() without a lock; ThreadExecutor "
+                    "workers share this object -- guard it with a lock, "
+                    "make it threading.local, or baseline it with a "
+                    "justification if the race is provably benign",
+                )

@@ -155,6 +155,18 @@ class HLHk:
     _groups: list[tuple[str, ...]] | None = field(default=None, repr=False, compare=False)
     _patterns: list[TemporalPattern] | None = field(default=None, repr=False, compare=False)
 
+    def __getstate__(self):
+        """Pickle only the hash tables; cached list views are per-process."""
+        return {"k": self.k, "ehk": self.ehk, "phk": self.phk, "ghk": self.ghk}
+
+    def __setstate__(self, state) -> None:
+        self.k = state["k"]
+        self.ehk = state["ehk"]
+        self.phk = state["phk"]
+        self.ghk = state["ghk"]
+        self._groups = None
+        self._patterns = None
+
     def add_group(self, group: tuple[str, ...], support: SupportLike) -> GroupEntry:
         """Insert a candidate k-event group (Alg. 1 line 12)."""
         entry = GroupEntry(support=support)

@@ -29,6 +29,18 @@ class TemporalSequence:
         default_factory=dict, repr=False, compare=False
     )
 
+    def __getstate__(self):
+        """Pickle only the instance list; the per-event index is derived."""
+        return {"position": self.position, "instances": self.instances}
+
+    def __setstate__(self, state) -> None:
+        self.position = state["position"]
+        self.instances = state["instances"]
+        by_event: dict[str, list[EventInstance]] = {}
+        for instance in self.instances:
+            by_event.setdefault(instance.event, []).append(instance)
+        self._by_event = by_event
+
     def finalize(self) -> "TemporalSequence":
         """Sort instances and build the per-event index.  Call once after
         all instances are appended; returns self for chaining."""

@@ -19,6 +19,12 @@ Subcommands
 ``query results.json --series WindSpeed --min-size 2 ...``
     Filter an archived results JSON with the PatternQuery API
     (``--level`` selects one level of a multigrain archive).
+``lint``
+    Run the static contract analyzer (compute-twin, picklability,
+    thread-safety, zero-overhead telemetry, registry conformance) over
+    the tree; same engine as ``python -m repro.analysis``, see
+    DESIGN.md ("Static contracts") for the rule catalog, suppression
+    comments, and the baseline workflow.
 
 Engine selection
 ----------------
@@ -310,6 +316,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: the finest archived level)",
     )
     query_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
+
+    sub.add_parser(
+        "lint",
+        help="run the static contract analyzer (python -m repro.analysis)",
+        add_help=False,
+    )
     return parser
 
 
@@ -388,7 +400,14 @@ def _telemetry(args):
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw[:1] == ["lint"]:
+        # Delegate everything after `lint` to the analyzer's own parser
+        # (it has its own --help/--paths/--format surface).
+        from repro.analysis.runner import main as lint_main
+
+        return lint_main(raw[1:])
+    args = _build_parser().parse_args(raw)
     with _telemetry(args):
         return _dispatch(args)
 
@@ -438,12 +457,12 @@ def _dispatch(args) -> int:
             min_season=args.min_season,
         )
         spec, n_workers = _engine_settings(args)
-        engine = dict(
-            support_backend=args.support_backend,
-            executor=spec,
-            n_workers=n_workers,
-            kernel=args.kernel,
-        )
+        engine = {
+            "support_backend": args.support_backend,
+            "executor": spec,
+            "n_workers": n_workers,
+            "kernel": args.kernel,
+        }
         try:
             # The front end acts at dseq-build time, so it is installed as
             # the process default around the dataset.dseq() call.

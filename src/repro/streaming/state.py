@@ -180,10 +180,10 @@ class MinerState:
         """
         since = state.triples_revision
         event = state.extension_event
-        for member in state.parent_group or ():
-            if self.pair_revision.get(frozenset((member, event)), 0) > since:
-                return True
-        return False
+        return any(
+            self.pair_revision.get(frozenset((member, event)), 0) > since
+            for member in state.parent_group or ()
+        )
 
     def event_view(self, state: EventState) -> SeasonView:
         """The (cached) seasonal decomposition of one event's support."""

@@ -11,8 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro.core.config import get_numpy
 from repro.exceptions import SymbolizationError
 from repro.symbolic.alphabet import Alphabet
 
@@ -41,13 +40,24 @@ class TimeSeries:
     @classmethod
     def from_array(cls, name: str, values) -> "TimeSeries":
         """Build from any iterable / numpy array of numbers."""
-        return cls(name, tuple(float(v) for v in np.asarray(values, dtype=float)))
+        return cls(name, tuple(float(v) for v in values))
 
     def __len__(self) -> int:
         return len(self.values)
 
-    def as_array(self) -> np.ndarray:
-        """The values as a float numpy array (copy)."""
+    def as_array(self):
+        """The values as a float numpy array (copy).
+
+        Only meaningful on the numpy backend; the pure-Python twins work
+        from :attr:`values` directly and never call this.
+        """
+        np = get_numpy()
+        if np is None:
+            raise SymbolizationError(
+                "TimeSeries.as_array() needs the numpy backend "
+                "(REPRO_COMPUTE=python selected or numpy unavailable); "
+                "use .values on the pure path"
+            )
         return np.asarray(self.values, dtype=float)
 
 
@@ -86,7 +96,8 @@ class SymbolicSeries:
     def from_codes(cls, name: str, codes, alphabet: Alphabet) -> "SymbolicSeries":
         """Build from an integer code array (the vectorized mapper path).
 
-        ``codes`` is a numpy integer array indexing ``alphabet.symbols``.
+        ``codes`` is an integer array (numpy, or any integer sequence on
+        the pure-Python backend) indexing ``alphabet.symbols``.
         The symbol tuple and the per-symbol counts are derived with two
         array operations (``take`` and ``bincount``) instead of the
         per-symbol ``Counter`` validation pass -- the codes themselves
@@ -95,28 +106,43 @@ class SymbolicSeries:
         if len(codes) == 0:
             raise SymbolizationError(f"symbolic series {name!r} is empty")
         n_symbols = len(alphabet.symbols)
-        if int(codes.min()) < 0:
-            raise SymbolizationError(
-                f"series {name!r} has symbol codes outside its "
-                f"{n_symbols}-symbol alphabet"
-            )
-        counts = np.bincount(codes, minlength=n_symbols)
-        if len(counts) > n_symbols:
-            raise SymbolizationError(
-                f"series {name!r} has symbol codes outside its "
-                f"{n_symbols}-symbol alphabet"
-            )
-        lookup = np.asarray(alphabet.symbols, dtype=object)
+        np = get_numpy()
+        if np is not None and hasattr(codes, "min"):
+            if int(codes.min()) < 0:
+                raise SymbolizationError(
+                    f"series {name!r} has symbol codes outside its "
+                    f"{n_symbols}-symbol alphabet"
+                )
+            counts = np.bincount(codes, minlength=n_symbols)
+            if len(counts) > n_symbols:
+                raise SymbolizationError(
+                    f"series {name!r} has symbol codes outside its "
+                    f"{n_symbols}-symbol alphabet"
+                )
+            lookup = np.asarray(alphabet.symbols, dtype=object)
+            symbols = tuple(lookup[codes].tolist())
+            count_map = dict(zip(alphabet.symbols, counts.tolist()))
+        else:
+            # Pure twin: same range check and count derivation, one pass.
+            code_list = [int(code) for code in codes]
+            if min(code_list) < 0 or max(code_list) >= n_symbols:
+                raise SymbolizationError(
+                    f"series {name!r} has symbol codes outside its "
+                    f"{n_symbols}-symbol alphabet"
+                )
+            symbol_lookup = alphabet.symbols
+            symbols = tuple(symbol_lookup[code] for code in code_list)
+            tally = Counter(code_list)
+            count_map = {
+                symbol: tally.get(index, 0)
+                for index, symbol in enumerate(symbol_lookup)
+            }
         series = object.__new__(cls)
         object.__setattr__(series, "name", name)
-        object.__setattr__(series, "symbols", tuple(lookup[codes].tolist()))
+        object.__setattr__(series, "symbols", symbols)
         object.__setattr__(series, "alphabet", alphabet)
         object.__setattr__(series, "codes", codes)
-        object.__setattr__(
-            series,
-            "_counts",
-            Counter(dict(zip(alphabet.symbols, counts.tolist()))),
-        )
+        object.__setattr__(series, "_counts", Counter(count_map))
         return series
 
     def __len__(self) -> int:

@@ -191,6 +191,23 @@ class TemporalSequenceDatabase:
         default_factory=dict, repr=False, compare=False
     )
 
+    def __getstate__(self):
+        """Exclude materialized instance columns from the pickled state.
+
+        The primed tables (``_support_cache``, ``_event_positions``,
+        ``_prebuilt_raw``) ARE shipped on purpose -- the multigrain
+        engine primes them before broadcasting so workers skip the row
+        scans.  ``_prebuilt_columns`` is the per-process lazy
+        materialization of those tables (mirror of ``HLH1._columns``):
+        workers rebuild exactly the columns they touch.
+        """
+        state = dict(self.__dict__)
+        state["_prebuilt_columns"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     def __len__(self) -> int:
         return len(self.rows)
 

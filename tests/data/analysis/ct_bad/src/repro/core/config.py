@@ -1,0 +1,7 @@
+"""Fixture: the compute registry itself MAY import numpy (true negative)."""
+
+import numpy  # noqa: F401
+
+
+def get_numpy():
+    return numpy

@@ -1,0 +1,13 @@
+"""Fixture: both numpy-import violations (CT001 + CT002)."""
+
+import numpy as np  # CT001: module scope, outside the registry
+
+
+def as_array(values):
+    return np.asarray(values)
+
+
+def bincount(values):
+    import numpy  # CT002: function scope, bypasses get_numpy()
+
+    return numpy.bincount(values)

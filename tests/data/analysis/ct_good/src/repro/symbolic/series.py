@@ -1,0 +1,10 @@
+"""Fixture: numpy only through the backend registry (clean)."""
+
+from repro.core.config import get_numpy
+
+
+def as_array(values):
+    np = get_numpy()
+    if np is None:
+        return [float(v) for v in values]
+    return np.asarray(values, dtype=float)

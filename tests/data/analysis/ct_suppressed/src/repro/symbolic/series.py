@@ -1,0 +1,7 @@
+"""Fixture: a CT001 violation silenced by a line suppression."""
+
+import numpy as np  # repro: ignore[CT001] -- fixture exercising suppressions
+
+
+def as_array(values):
+    return np.asarray(values)

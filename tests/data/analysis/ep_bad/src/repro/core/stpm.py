@@ -1,0 +1,21 @@
+"""Fixture: every executor-picklability violation (EP001/EP002/EP003)."""
+
+
+def mine(executor, tasks, context):
+    def local_task(task):  # closure -- cannot pickle by qualified name
+        return task
+
+    executor.map_tasks(lambda task: task, tasks, context)  # EP001: lambda
+    executor.map_tasks(local_task, tasks, context)  # EP001: closure
+    return None
+
+
+class LevelState:
+    """EP002: per-process cache shipped by default pickling."""
+
+    def __init__(self):
+        self.values = []
+        self._column_cache = {}
+
+
+MINERS = {"exact": lambda dseq: dseq}  # EP003: lambda registry value

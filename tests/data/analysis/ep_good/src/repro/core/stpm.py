@@ -1,0 +1,25 @@
+"""Fixture: the picklability contract respected (clean)."""
+
+
+def mine_task(task):
+    return task
+
+
+def mine(executor, tasks, context):
+    executor.map_tasks(mine_task, tasks, context)
+
+
+class LevelState:
+    def __init__(self):
+        self.values = []
+        self._column_cache = {}
+
+    def __getstate__(self):
+        return {"values": self.values}
+
+    def __setstate__(self, state):
+        self.values = state["values"]
+        self._column_cache = {}
+
+
+MINERS = {"exact": mine_task}

@@ -1,0 +1,10 @@
+"""Fixture: direct telemetry access from a hot path (OB001)."""
+
+import repro.obs as obs
+from repro.obs import registry
+
+
+def record(value):
+    registry().counter("hot.calls").inc()
+    with obs.Span("hot.step"):
+        return value

@@ -1,0 +1,9 @@
+"""Fixture: telemetry through the guarded zero-overhead helpers (clean)."""
+
+from repro.obs import inc, span
+
+
+def record(value):
+    inc("hot.calls")
+    with span("hot.step"):
+        return value

@@ -1,0 +1,35 @@
+"""Fixture: registry drift (RC001), broken export (RC003), broken import (RC101)."""
+
+from repro.core.instance_index import (
+    KERNEL_ARRAY,
+    KERNEL_GONE,  # RC101: instance_index does not bind this
+    KERNEL_SWEEP,
+)
+
+__all__ = ["mine", "vanished"]  # RC003: 'vanished' is unbound
+
+
+def array_pair(hlh1, event_a, event_b):
+    return ()
+
+
+def array_extend(hlh1, previous, event):
+    return ()
+
+
+def sweep_pair(hlh1, event_a):  # RC001: pair-slot signature drift
+    return ()
+
+
+def sweep_extend(hlh1, previous, event):
+    return ()
+
+
+def mine():
+    return ()
+
+
+_KERNEL_FUNCTIONS = {
+    KERNEL_ARRAY: (array_pair, array_extend),
+    KERNEL_SWEEP: (sweep_pair, sweep_extend),
+}

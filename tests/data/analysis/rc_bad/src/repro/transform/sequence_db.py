@@ -1,0 +1,12 @@
+"""Fixture: front-end registry without its dispatch target (RC002)."""
+
+FRONTEND_COLUMNAR = "columnar"
+FRONTEND_SCALAR = "scalar"
+FRONTEND_KERNELS = (FRONTEND_COLUMNAR, FRONTEND_SCALAR)
+
+
+def _build_columnar(dsyb, ratio, n_granules):
+    return ()
+
+
+# RC002: no _build_scalar despite FRONTEND_SCALAR being declared.

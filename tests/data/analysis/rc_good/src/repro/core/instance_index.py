@@ -1,0 +1,5 @@
+"""Fixture: kernel-name constants (consistent tree)."""
+
+KERNEL_ARRAY = "array"
+KERNEL_SWEEP = "sweep"
+STEP2_KERNELS = (KERNEL_ARRAY, KERNEL_SWEEP)

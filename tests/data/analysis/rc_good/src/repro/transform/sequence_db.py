@@ -1,0 +1,13 @@
+"""Fixture: front-end registry with both dispatch targets (clean)."""
+
+FRONTEND_COLUMNAR = "columnar"
+FRONTEND_SCALAR = "scalar"
+FRONTEND_KERNELS = (FRONTEND_COLUMNAR, FRONTEND_SCALAR)
+
+
+def _build_columnar(dsyb, ratio, n_granules):
+    return ()
+
+
+def _build_scalar(dsyb, ratio, n_granules):
+    return ()

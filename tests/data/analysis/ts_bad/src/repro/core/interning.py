@@ -1,0 +1,13 @@
+"""Fixture: unguarded mutation of shared module state (TS001)."""
+
+_CACHE = {}
+
+
+def intern(key, value):
+    if key not in _CACHE:
+        _CACHE[key] = value
+    return _CACHE[key]
+
+
+def clear():
+    _CACHE.clear()

@@ -1,0 +1,25 @@
+"""Fixture: shared module state handled correctly (clean).
+
+Covers all three accepted shapes: lock-guarded mutation, thread-local
+state, and module-scope initialization (single-threaded by definition).
+"""
+
+import threading
+
+_LOCK = threading.Lock()
+_CACHE = {}
+_CACHE["seed"] = ()  # module-scope init: fine without a lock
+_SCRATCH = threading.local()
+
+
+def intern(key, value):
+    with _LOCK:
+        if key not in _CACHE:
+            _CACHE[key] = value
+        return _CACHE[key]
+
+
+def scratch_pad():
+    if not hasattr(_SCRATCH, "pad"):
+        _SCRATCH.pad = {}
+    return _SCRATCH.pad

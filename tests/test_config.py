@@ -25,7 +25,7 @@ class TestValidation:
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
-        base = dict(max_period=2, min_density=3, dist_interval=(4, 10), min_season=2)
+        base = {"max_period": 2, "min_density": 3, "dist_interval": (4, 10), "min_season": 2}
         base.update(kwargs)
         with pytest.raises(ConfigError):
             MiningParams(**base)

@@ -286,9 +286,9 @@ class TestPoolReuseParity:
 
     def test_hierarchical_job_shares_the_pool(self, shared_pool):
         dataset = load_dataset("INF", "tiny")
-        settings = dict(
-            ratios=[dataset.ratio, dataset.ratio * 2], min_season=4
-        )
+        settings = {
+            "ratios": [dataset.ratio, dataset.ratio * 2], "min_season": 4
+        }
         serial = HierarchicalMiner(dataset.dsyb, **settings).mine()
         pooled = HierarchicalMiner(
             dataset.dsyb, executor=shared_pool, **settings

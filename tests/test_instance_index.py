@@ -39,13 +39,13 @@ def _dseq(rows: dict[str, str], ratio: int):
 
 
 def _params(**overrides):
-    defaults = dict(
-        max_period=2,
-        min_density=1,
-        dist_interval=(0, 8),
-        min_season=1,
-        max_pattern_length=3,
-    )
+    defaults = {
+        "max_period": 2,
+        "min_density": 1,
+        "dist_interval": (0, 8),
+        "min_season": 1,
+        "max_pattern_length": 3,
+    }
     defaults.update(overrides)
     return MiningParams(**defaults)
 

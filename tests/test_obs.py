@@ -172,9 +172,8 @@ class TestTrace:
 
     def test_phase_summary_separates_self_time(self):
         trace.enable_tracing()
-        with span("outer"):
-            with span("inner"):
-                pass
+        with span("outer"), span("inner"):
+            pass
         rows = {row["name"]: row for row in phase_summary()}
         assert rows["outer"]["calls"] == 1
         assert rows["inner"]["seconds"] <= rows["outer"]["seconds"]
@@ -308,9 +307,10 @@ class TestCrossProcessParity:
         with capture() as serial_captured:
             ESTPM(dseq, params).mine()
         assert "executor.map_calls" not in serial_captured.counters
-        with capture() as captured:
-            with ThreadExecutor(max_workers=2, min_tasks=1) as executor:
-                ESTPM(dseq, params, executor=executor).mine()
+        with capture() as captured, ThreadExecutor(
+            max_workers=2, min_tasks=1
+        ) as executor:
+            ESTPM(dseq, params, executor=executor).mine()
         assert captured.counters["executor.map_calls"] > 0
         assert captured.counters["executor.tasks_dispatched"] > 0
         assert captured.counters["executor.pool_spawns"] == 1

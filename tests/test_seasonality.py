@@ -125,15 +125,15 @@ class TestChainCounter:
 
     CASES = [
         # (support, params kwargs) exercising every chain-walk branch.
-        ([1, 2, 3, 7, 8, 11, 12, 14], dict(max_period=2, min_density=3, dist_interval=(0, 10), min_season=2)),
-        ([1, 2, 5, 8, 9], dict(max_period=1, min_density=2, dist_interval=(0, 10), min_season=1)),
-        ([1, 2, 4, 5, 10, 11], dict(max_period=1, min_density=2, dist_interval=(5, 20), min_season=1)),
+        ([1, 2, 3, 7, 8, 11, 12, 14], {"max_period": 2, "min_density": 3, "dist_interval": (0, 10), "min_season": 2}),
+        ([1, 2, 5, 8, 9], {"max_period": 1, "min_density": 2, "dist_interval": (0, 10), "min_season": 1}),
+        ([1, 2, 4, 5, 10, 11], {"max_period": 1, "min_density": 2, "dist_interval": (5, 20), "min_season": 1}),
         # dist_max break mid-chain, then a fresh chain.
-        ([1, 2, 30, 31, 33, 60, 61], dict(max_period=2, min_density=2, dist_interval=(0, 5), min_season=1)),
+        ([1, 2, 30, 31, 33, 60, 61], {"max_period": 2, "min_density": 2, "dist_interval": (0, 5), "min_season": 1}),
         # Trimming empties a set entirely.
-        ([1, 2, 3, 4, 40, 41], dict(max_period=1, min_density=2, dist_interval=(3, 50), min_season=1)),
-        ([], dict(max_period=2, min_density=1, dist_interval=(0, 5), min_season=1)),
-        ([7], dict(max_period=2, min_density=1, dist_interval=(0, 5), min_season=1)),
+        ([1, 2, 3, 4, 40, 41], {"max_period": 1, "min_density": 2, "dist_interval": (3, 50), "min_season": 1}),
+        ([], {"max_period": 2, "min_density": 1, "dist_interval": (0, 5), "min_season": 1}),
+        ([7], {"max_period": 2, "min_density": 1, "dist_interval": (0, 5), "min_season": 1}),
     ]
 
     def test_counter_equals_view(self):

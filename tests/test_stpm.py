@@ -15,7 +15,7 @@ def _dseq(rows, ratio=2):
 
 
 def _params(**overrides):
-    base = dict(max_period=2, min_density=1, dist_interval=(0, 20), min_season=1)
+    base = {"max_period": 2, "min_density": 1, "dist_interval": (0, 20), "min_season": 1}
     base.update(overrides)
     return MiningParams(**base)
 
