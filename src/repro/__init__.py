@@ -95,9 +95,16 @@ from repro.symbolic import (
     ThresholdMapper,
     TimeSeries,
 )
+from repro.resilience import (
+    FailedTask,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    install_fault_plan,
+)
 from repro.transform import TemporalSequenceDatabase, build_sequence_database
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     # granularity
@@ -161,6 +168,12 @@ __all__ = [
     "ListSupportSet",
     "make_support_set",
     "set_default_backend",
+    # resilience
+    "RetryPolicy",
+    "FailedTask",
+    "FaultPlan",
+    "FaultSpec",
+    "install_fault_plan",
     # execution backends
     "MiningExecutor",
     "SerialExecutor",

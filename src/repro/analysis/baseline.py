@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.findings import Finding
+from repro.io.atomic import write_text_atomic
 
 #: Placeholder justification emitted by ``--write-baseline``.
 FIXME_JUSTIFICATION = "FIXME: justify or fix"
@@ -126,5 +127,5 @@ def write_baseline(path: Path, findings: list[Finding], previous: Baseline) -> i
             for _, entry in sorted(entries.items())
         ],
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_text_atomic(path, json.dumps(payload, indent=2) + "\n")
     return len(entries)

@@ -55,6 +55,8 @@ EXECUTOR_BOUNDARY_MODULES = (
     "repro.events.event",
     "repro.events.sequence",
     "repro.multigrain.engine",
+    "repro.resilience.policy",
+    "repro.resilience.faults",
 )
 
 #: Module-scope registries whose values ship (or are dispatched) across

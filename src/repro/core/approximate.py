@@ -152,8 +152,8 @@ class ASTPM:
     screening runs on DSYB (one scan, as the paper notes) while the mining
     runs on DSEQ.  A pre-built DSEQ can be supplied to avoid re-transforming
     in benchmarks.  ``support_backend`` / ``executor`` / ``n_workers`` /
-    ``kernel`` are forwarded to the inner :class:`~repro.core.stpm.ESTPM`
-    engine.
+    ``kernel`` / ``strict`` / ``checkpoint_path`` are forwarded to the
+    inner :class:`~repro.core.stpm.ESTPM` engine.
     """
 
     dsyb: SymbolicDatabase
@@ -166,6 +166,8 @@ class ASTPM:
     executor: "MiningExecutor | str | None" = None
     n_workers: int | None = None
     kernel: str | None = None
+    strict: bool = True
+    checkpoint_path: str | None = None
 
     def mine(self) -> MiningResult:
         """Run MI screening, then the restricted exact mining.
@@ -206,6 +208,8 @@ class ASTPM:
                     support_backend=self.support_backend,
                     executor=runner,
                     kernel=self.kernel,
+                    strict=self.strict,
+                    checkpoint_path=self.checkpoint_path,
                 )
                 result = miner.mine()
             result.stats.mi_seconds = report.mi_seconds

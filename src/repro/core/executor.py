@@ -62,6 +62,26 @@ milliseconds per mining level -- so ``reuse_pool`` defaults to on and
 one persistent pool serves the whole run.  Both knobs can be forced
 explicitly (``ParallelExecutor(reuse_pool=True, start_method="spawn")``),
 and the EXT2 benchmark records the measured pool-reuse delta.
+
+Fault tolerance
+---------------
+Every backend takes a :class:`~repro.resilience.policy.RetryPolicy`.  A
+task attempt that raises is retried with deterministic backoff; a task
+that exhausts its attempts is quarantined into a
+:class:`~repro.resilience.policy.FailedTask` record *in its outcome
+slot* instead of killing the job (the miners decide, via their
+``strict`` flag, whether that surfaces as an exception).  The process
+backend additionally survives pool breaks -- a dead worker, a broken
+broadcast barrier, a liveness timeout -- by respawning the pool and
+resubmitting only the unfinished tasks, degrading to in-process serial
+execution after ``max_pool_breaks`` consecutive breaks.  Attempt bumps
+caused by pool breaks are capped below the quarantine threshold, so a
+task is only ever quarantined by its *own* failures, never by sharing a
+pool with a crashing neighbor.  All of it is observable
+(``executor.pool_breaks`` / ``executor.retries`` /
+``executor.quarantined`` / ``executor.task_timeouts`` /
+``executor.serial_degradations``) and driven in tests by the seeded
+fault plans of :mod:`repro.resilience.faults`.
 """
 
 from __future__ import annotations
@@ -70,8 +90,15 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from contextlib import contextmanager
 from functools import partial
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -80,6 +107,13 @@ from repro.core.instance_index import clear_intern_caches
 from repro.exceptions import ConfigError
 from repro.obs import counters as metrics
 from repro.obs.logging import get_logger
+from repro.resilience.faults import fault_task_scope, maybe_fault
+from repro.resilience.policy import (
+    DEFAULT_RETRY_POLICY,
+    FailedTask,
+    RetryPolicy,
+    task_key_of,
+)
 
 logger = get_logger(__name__)
 
@@ -164,6 +198,9 @@ class SerialExecutor(MiningExecutor):
 
     name = EXECUTOR_SERIAL
 
+    def __init__(self, retry: RetryPolicy | None = None):
+        self.retry = retry or DEFAULT_RETRY_POLICY
+
     def map_tasks(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any], context: Any
     ) -> Iterator[Any]:
@@ -177,14 +214,20 @@ class SerialExecutor(MiningExecutor):
         nested serial miner (the hierarchical miner's level tasks do), and
         in a parallel worker the pool-installed outer context must survive
         the inner run.
+
+        A task that fails all its retry attempts yields a
+        :class:`~repro.resilience.policy.FailedTask` in its slot; there
+        is no pool to break, so the retry policy's timeout and
+        pool-break knobs do not apply here.
         """
         previous = get_task_context()
         _set_task_context(context)
+        policy = self.retry
 
         def _run() -> Iterator[Any]:
             try:
-                for task in tasks:
-                    yield fn(task)
+                for index, task in enumerate(tasks):
+                    yield _attempt_task(fn, task, index, 0, policy)
             finally:
                 _set_task_context(previous)
 
@@ -225,7 +268,16 @@ def _receive_context(blob: bytes) -> bool:
     _set_task_context(context)
     if context is None:
         clear_intern_caches()
-    _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT)
+    try:
+        _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT)
+    except threading.BrokenBarrierError:
+        # A peer missed the rendezvous (died mid-broadcast, or the wait
+        # timed out).  Abort explicitly so every sibling unblocks *now*
+        # instead of burning its own full timeout, then surface the
+        # break to the parent, whose recovery loop recycles the pool --
+        # a broken barrier never reforms -- and resubmits the level.
+        _WORKER_BARRIER.abort()
+        raise
     return True
 
 
@@ -263,6 +315,87 @@ def _merge_enveloped(results: list[tuple[Any, dict]]) -> list[Any]:
     return outcomes
 
 
+# ---------------------------------------------------------------------------
+# Resilient task execution (all backends)
+# ---------------------------------------------------------------------------
+
+#: Exceptions that mean "the pool is gone", not "the task failed":
+#: a dead worker process (BrokenProcessPool) or a broadcast barrier
+#: that could not reform (a worker died mid-rendezvous).  The recovery
+#: loop respawns the pool and resubmits the unfinished tasks.
+_POOL_BREAK_ERRORS = (BrokenExecutor, threading.BrokenBarrierError)
+
+
+def _attempt_task(
+    fn: Callable[[Any], Any],
+    task: Any,
+    index: int,
+    start_attempt: int,
+    policy: RetryPolicy,
+) -> Any:
+    """Run one task with bounded in-process retries.
+
+    Returns the task outcome, or a :class:`FailedTask` once
+    ``policy.max_attempts`` attempts (counting ``start_attempt`` ones
+    already consumed by pool breaks) have failed.  Never raises for a
+    task-level failure -- only BaseExceptions (worker kill, interrupt)
+    escape.  Each attempt consults the fault plan inside a
+    :func:`fault_task_scope`, so injected faults target only the
+    outermost dispatch, not miners nested inside a worker's task.
+    """
+    key = task_key_of(task)
+    attempt = start_attempt
+    while True:
+        try:
+            with fault_task_scope():
+                maybe_fault("task", index=index, key=key, attempt=attempt)
+                return fn(task)
+        except Exception as exc:
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                metrics.inc("executor.quarantined")
+                logger.warning(
+                    "task quarantined",
+                    extra={"task": key, "attempts": attempt, "error": repr(exc)},
+                )
+                return FailedTask(key=key, error=repr(exc), attempts=attempt)
+            metrics.inc("executor.retries")
+            delay = policy.backoff_s(key, attempt)
+            logger.debug(
+                "task retry",
+                extra={"task": key, "attempt": attempt, "backoff_s": delay},
+            )
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _run_resilient_batch(
+    fn: Callable[[Any], Any],
+    policy: RetryPolicy,
+    track: bool,
+    specs: list[tuple[int, int, Any]],
+) -> list[tuple[int, Any, dict | None]]:
+    """Worker-side batch runner: ``(index, start_attempt, task)`` specs
+    in, ``(index, payload, metric snapshot)`` triples out.
+
+    Module-level (shipped via :func:`functools.partial`) so it pickles
+    under every start method.  Results carry their task index because
+    the parent's recovery loop tracks completion per *task*, not per
+    batch -- a pool break loses only the batches still in flight.
+    """
+    results: list[tuple[int, Any, dict | None]] = []
+    for index, start_attempt, task in specs:
+        if track:
+            with metrics.capture() as registry:
+                payload = _attempt_task(fn, task, index, start_attempt, policy)
+            results.append((index, payload, registry.snapshot()))
+        else:
+            results.append(
+                (index, _attempt_task(fn, task, index, start_attempt, policy), None)
+            )
+    return results
+
+
 class ParallelExecutor(MiningExecutor):
     """Process-pool execution with a reusable pool and chunked batching.
 
@@ -291,6 +424,12 @@ class ParallelExecutor(MiningExecutor):
     start_method:
         Multiprocessing start method (``"fork"`` / ``"spawn"`` /
         ``"forkserver"``); ``None`` uses the platform default.
+    retry:
+        The :class:`~repro.resilience.policy.RetryPolicy` governing task
+        retries, quarantine, per-task timeouts, and the pool-break
+        budget (default: :data:`~repro.resilience.policy.DEFAULT_RETRY_POLICY`).
+        ``retry.timeout_s`` forces single-task chunks so the liveness
+        watchdog sees per-task progress.
     """
 
     name = EXECUTOR_PARALLEL
@@ -302,6 +441,7 @@ class ParallelExecutor(MiningExecutor):
         min_tasks: int = 2,
         reuse_pool: bool | None = None,
         start_method: str | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -321,6 +461,7 @@ class ParallelExecutor(MiningExecutor):
         self.chunk_size = chunk_size
         self.min_tasks = min_tasks
         self.start_method = start_method
+        self.retry = retry or DEFAULT_RETRY_POLICY
         if reuse_pool is None:
             reuse_pool = self._effective_start_method() != "fork"
         self.reuse_pool = reuse_pool
@@ -371,13 +512,25 @@ class ParallelExecutor(MiningExecutor):
         return self._pool
 
     def close(self) -> None:
-        """Shut the persistent pool down (idempotent; respawns lazily)."""
+        """Shut the persistent pool down (idempotent; respawns lazily).
+
+        The pool reference is dropped *before* the blocking shutdown, so
+        a second ``close()`` -- including one issued by interrupt
+        cleanup while the first is still joining workers -- is a no-op
+        rather than a double shutdown.
+        """
         if self._pool is not None:
             pool, self._pool = self._pool, None
             if self._finalizer is not None:
                 self._finalizer.detach()
                 self._finalizer = None
-            pool.shutdown(wait=True, cancel_futures=True)
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except BaseException:
+                # Interrupted mid-join (Ctrl-C): release the workers
+                # without blocking and let the interrupt propagate.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
             metrics.inc("executor.pool_closes")
             logger.info("process pool closed", extra={"workers": self.max_workers})
 
@@ -419,56 +572,237 @@ class ParallelExecutor(MiningExecutor):
     ) -> Iterable[Any]:
         """Fan the tasks out over worker processes, preserving order.
 
-        ``ProcessPoolExecutor.map`` already yields results in submission
-        order, which is what makes the parallel mining result byte-identical
-        to the serial one.  The context lives in the *workers* (broadcast,
-        or pool initializer in per-call mode) and is replaced by the next
-        call's broadcast; the parent process buffers only the outcomes.
+        Tasks are shipped in chunked batches and their outcomes slotted
+        back by task index, which makes the parallel mining result
+        byte-identical to the serial one.  The context lives in the
+        *workers* (broadcast, or pool initializer in per-call mode) and
+        is replaced by the next call's broadcast; the parent process
+        buffers only the outcomes.
+
+        Dispatch is resilient: a pool break (dead worker, broken
+        broadcast barrier, liveness timeout) respawns the pool and
+        resubmits only the unfinished tasks; after
+        ``retry.max_pool_breaks`` consecutive breaks the remaining
+        tasks run serially in-process.  Task-level failures retry per
+        the policy inside the worker and quarantine into
+        :class:`FailedTask` slots.
         """
         n_tasks = len(tasks)
         if n_tasks < self.min_tasks or self.max_workers == 1:
             metrics.inc("executor.serial_fallbacks")
-            return SerialExecutor().map_tasks(fn, tasks, context)
-        # Cross-process metric shipping: when the parent records metrics,
-        # each task runs enveloped in a worker-side capture and the
-        # parent merges the returned snapshots.  When metrics are off the
-        # bare fn is shipped -- the dispatch path is unchanged.
+            return SerialExecutor(retry=self.retry).map_tasks(fn, tasks, context)
         track = metrics.metrics_enabled()
-        call = partial(_call_with_metrics, fn) if track else fn
-        chunk = self._chunk(n_tasks)
         if track:
             metrics.inc("executor.map_calls")
             metrics.inc("executor.tasks_dispatched", n_tasks)
-            metrics.observe("executor.chunk_size", chunk)
         logger.debug(
             "dispatching tasks",
             extra={
                 "backend": self.name,
                 "tasks": n_tasks,
-                "chunk": chunk,
                 "workers": self.max_workers,
             },
         )
-        if not self.reuse_pool:
-            metrics.inc("executor.pool_spawns")
-            with ProcessPoolExecutor(
-                max_workers=min(self.max_workers, n_tasks),
-                mp_context=self._mp_context(),
-                initializer=_set_task_context,
-                initargs=(context,),
-            ) as pool:
-                results = list(pool.map(call, tasks, chunksize=chunk))
-            return _merge_enveloped(results) if track else results
-        pool = self._ensure_pool()
-        try:
+        return self._map_resilient(fn, tasks, context, track)
+
+    def _acquire_pool(
+        self, context: Any, n_pending: int
+    ) -> tuple[ProcessPoolExecutor, bool]:
+        """A pool with ``context`` installed in its workers.
+
+        Returns ``(pool, owned)``: the persistent broadcast pool
+        (``owned=False``) in reuse mode, or a fresh per-call pool with
+        the context shipped via the initializer (``owned=True``).
+        Raises a pool-break error if the broadcast cannot complete.
+        """
+        if self.reuse_pool:
+            pool = self._ensure_pool()
             self._broadcast(pool, context)
-            results = list(pool.map(call, tasks, chunksize=chunk))
-        except Exception:
-            # A broken pool (dead worker, broken barrier) cannot be
-            # reused; release it so the next call starts clean.
-            self.close()
-            raise
-        return _merge_enveloped(results) if track else results
+            return pool, False
+        metrics.inc("executor.pool_spawns")
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.max_workers, n_pending),
+            mp_context=self._mp_context(),
+            initializer=_set_task_context,
+            initargs=(context,),
+        )
+        return pool, True
+
+    def _map_resilient(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        context: Any,
+        track: bool,
+    ) -> list[Any]:
+        """The recovery loop behind :meth:`map_tasks`.
+
+        Each round acquires a pool, submits the still-unfinished tasks
+        in chunked batches (single-task batches when ``retry.timeout_s``
+        is set, so the liveness watchdog observes per-task progress),
+        and harvests completions as they land.  A round that ends in a
+        pool break bumps the attempt counters of the unfinished tasks --
+        capped at ``max_attempts - 1``, so a break alone can never
+        quarantine a task -- recycles the pool, and goes again; after
+        ``max_pool_breaks`` *consecutive* broken rounds the remaining
+        tasks run serially in this process.  Worker metric snapshots are
+        buffered per task and merged in task order at the end, keeping
+        gauge last-write-wins semantics identical to a serial run.
+        """
+        policy = self.retry
+        n_tasks = len(tasks)
+        payloads: list[Any] = [None] * n_tasks
+        snapshots: list[dict | None] = [None] * n_tasks
+        start_attempt = [0] * n_tasks
+        remaining = set(range(n_tasks))
+        consecutive_breaks = 0
+        call = partial(_run_resilient_batch, fn, policy, track)
+
+        def _bump(index: int) -> None:
+            start_attempt[index] = min(
+                start_attempt[index] + 1, policy.max_attempts - 1
+            )
+
+        while remaining:
+            if consecutive_breaks > policy.max_pool_breaks:
+                metrics.inc("executor.serial_degradations")
+                logger.warning(
+                    "pool broke repeatedly; degrading to serial execution",
+                    extra={
+                        "pool_breaks": consecutive_breaks,
+                        "remaining": len(remaining),
+                    },
+                )
+                self._run_degraded(
+                    fn, tasks, context, policy, payloads, start_attempt, remaining
+                )
+                break
+            pending = sorted(remaining)
+            try:
+                pool, owned = self._acquire_pool(context, len(pending))
+            except _POOL_BREAK_ERRORS:
+                consecutive_breaks += 1
+                metrics.inc("executor.pool_breaks")
+                logger.warning(
+                    "pool broke during context broadcast",
+                    extra={"pool_breaks": consecutive_breaks},
+                )
+                self.close()
+                continue
+            chunk = 1 if policy.timeout_s is not None else self._chunk(len(pending))
+            if track:
+                metrics.observe("executor.chunk_size", chunk)
+            broken = False
+            try:
+                futures: dict[Any, list[int]] = {}
+                try:
+                    for lo in range(0, len(pending), chunk):
+                        batch = pending[lo : lo + chunk]
+                        specs = [(i, start_attempt[i], tasks[i]) for i in batch]
+                        futures[pool.submit(call, specs)] = batch
+                except _POOL_BREAK_ERRORS:
+                    broken = True
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(
+                        not_done, timeout=policy.timeout_s,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # No task finished within the per-task budget:
+                        # some worker is stuck, and a stuck worker can
+                        # only be reclaimed by recycling the pool.
+                        broken = True
+                        metrics.inc("executor.task_timeouts", len(not_done))
+                        logger.warning(
+                            "no task progress within timeout",
+                            extra={
+                                "timeout_s": policy.timeout_s,
+                                "stuck_batches": len(not_done),
+                            },
+                        )
+                        for future in not_done:
+                            future.cancel()
+                            for index in futures[future]:
+                                _bump(index)
+                        break
+                    for future in done:
+                        batch = futures[future]
+                        try:
+                            results = future.result()
+                        except _POOL_BREAK_ERRORS:
+                            broken = True
+                            for index in batch:
+                                if index in remaining:
+                                    _bump(index)
+                            continue
+                        for index, payload, snapshot in results:
+                            payloads[index] = payload
+                            snapshots[index] = snapshot
+                            remaining.discard(index)
+            except Exception:
+                # Anything that is not a pool break (an unpicklable
+                # payload, a bug in the dispatch itself) keeps the old
+                # contract: release the pool and raise.
+                if owned:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                else:
+                    self.close()
+                raise
+            if owned:
+                pool.shutdown(wait=not broken, cancel_futures=True)
+            if broken:
+                consecutive_breaks += 1
+                metrics.inc("executor.pool_breaks")
+                if not owned:
+                    # The persistent pool (and its barrier) is dead;
+                    # _ensure_pool respawns both next round.
+                    self.close()
+                logger.warning(
+                    "process pool broke; resubmitting unfinished tasks",
+                    extra={
+                        "pool_breaks": consecutive_breaks,
+                        "remaining": len(remaining),
+                    },
+                )
+            else:
+                consecutive_breaks = 0
+        outcomes: list[Any] = []
+        for index in range(n_tasks):
+            snapshot = snapshots[index]
+            if snapshot is not None:
+                metrics.merge(snapshot)
+            outcomes.append(payloads[index])
+        return outcomes
+
+    def _run_degraded(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        context: Any,
+        policy: RetryPolicy,
+        payloads: list[Any],
+        start_attempt: list[int],
+        remaining: set[int],
+    ) -> None:
+        """Serial last resort: run the unfinished tasks in this process.
+
+        Attempt counters carry over from the pool rounds, so a task
+        that already burned attempts keeps its (capped) budget; metrics
+        record directly into the caller's registry (no snapshot
+        envelope).  The per-task timeout is unenforceable without a
+        pool and is documented as such.
+        """
+        previous = get_task_context()
+        _set_task_context(context)
+        try:
+            for index in sorted(remaining):
+                payloads[index] = _attempt_task(
+                    fn, tasks[index], index, start_attempt[index], policy
+                )
+            remaining.clear()
+        finally:
+            _set_task_context(previous)
 
 
 class ThreadExecutor(MiningExecutor):
@@ -490,11 +824,19 @@ class ThreadExecutor(MiningExecutor):
         Worker threads (default: ``os.cpu_count()``).
     min_tasks:
         Levels with fewer tasks than this run serially in-process.
+    retry:
+        Task retry/quarantine policy (threads share the process, so the
+        pool-break and timeout knobs do not apply).
     """
 
     name = EXECUTOR_THREADS
 
-    def __init__(self, max_workers: int | None = None, min_tasks: int = 2):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        min_tasks: int = 2,
+        retry: RetryPolicy | None = None,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
         if min_tasks < 1:
@@ -504,6 +846,7 @@ class ThreadExecutor(MiningExecutor):
             )
         self.max_workers = max_workers or os.cpu_count() or 1
         self.min_tasks = min_tasks
+        self.retry = retry or DEFAULT_RETRY_POLICY
         self._pool: ThreadPoolExecutor | None = None
         self._finalizer = None
 
@@ -539,7 +882,7 @@ class ThreadExecutor(MiningExecutor):
         n_tasks = len(tasks)
         if n_tasks < self.min_tasks or self.max_workers == 1:
             metrics.inc("executor.serial_fallbacks")
-            return SerialExecutor().map_tasks(fn, tasks, context)
+            return SerialExecutor(retry=self.retry).map_tasks(fn, tasks, context)
         pool = self._ensure_pool()
         # Worker threads record into their own thread-local registries,
         # so metric shipping works exactly like the process pool's: each
@@ -558,17 +901,22 @@ class ThreadExecutor(MiningExecutor):
             },
         )
 
-        def run(task: Any) -> Any:
+        policy = self.retry
+
+        def run(spec: tuple[int, Any]) -> Any:
+            index, task = spec
             previous = get_task_context()
             _set_task_context(context)
             try:
                 if track:
-                    return _call_with_metrics(fn, task)
-                return fn(task)
+                    with metrics.capture() as registry:
+                        payload = _attempt_task(fn, task, index, 0, policy)
+                    return payload, registry.snapshot()
+                return _attempt_task(fn, task, index, 0, policy)
             finally:
                 _set_task_context(previous)
 
-        results = list(pool.map(run, tasks))
+        results = list(pool.map(run, enumerate(tasks)))
         return _merge_enveloped(results) if track else results
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.pattern import TemporalPattern
 from repro.core.seasonality import SeasonView
+from repro.resilience.policy import FailedTask
 
 
 @dataclass(frozen=True)
@@ -64,10 +65,23 @@ class MiningResult:
     ``patterns`` contains the frequent seasonal patterns of every length
     (including the 1-event frequent seasonal events, which the paper's
     Alg. 1 also inserts into the output set P).
+
+    ``failures`` lists the quarantined tasks of a non-strict run: group
+    tasks that failed all their retry attempts and were excised instead
+    of aborting the job.  A strict run (the default) never produces a
+    result with failures -- it raises -- so a populated list always
+    marks a knowingly partial result, and :func:`results_equivalent`
+    treats it as inequivalent to everything.
     """
 
     patterns: list[SeasonalPattern]
     stats: MiningStats
+    failures: list[FailedTask] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when no task was quarantined (the result is total)."""
+        return not self.failures
 
     def __len__(self) -> int:
         return len(self.patterns)
@@ -110,5 +124,13 @@ def results_equivalent(left: MiningResult, right: MiningResult) -> bool:
     HLH level/group order while the streaming miner emits them in
     canonical order, but both must agree on the frequent pattern set and
     on every pattern's support, near support sets, and seasons.
+
+    Equivalence is also *strict about completeness*: a result carrying
+    quarantined failures is partial -- some group's patterns are simply
+    missing -- so it is never equivalent to anything, including a result
+    with the identical pattern map.  Recovery counts as success only
+    when it reproduced the whole answer.
     """
+    if left.failures or right.failures:
+        return False
     return left.seasonal_map() == right.seasonal_map()

@@ -102,6 +102,7 @@ from repro.events.relations import CONTAINS, FOLLOWS, OVERLAPS
 from repro.exceptions import MiningError
 from repro.obs import counters as metrics
 from repro.obs.trace import span
+from repro.resilience.policy import FailedTask, task_key_of
 from repro.transform.sequence_db import TemporalSequenceDatabase
 
 #: Cache sentinel of the extension kernel's per-granule relation cache:
@@ -732,6 +733,21 @@ class ESTPM:
         resolves to the process-wide default
         (:func:`~repro.core.instance_index.default_kernel`, normally
         ``"array"``).  All kernels produce equivalent results.
+    strict:
+        ``True`` (default): a group task that failed all its retry
+        attempts aborts the run with :class:`MiningError` -- current
+        exact-mining semantics.  ``False``: quarantined tasks are
+        collected into ``MiningResult.failures`` and the run returns a
+        knowingly partial result (``results_equivalent`` treats it as
+        inequivalent to everything).
+    checkpoint_path:
+        If set, completed step-2.2 group outcomes are checkpointed to
+        this file (atomic, versioned; see
+        :class:`~repro.io.job_checkpoint.JobCheckpoint`) and a rerun
+        pointed at the same path resumes, skipping the finished groups
+        (``freqstpfts run --resume``).  The checkpoint is fingerprinted
+        against the job's parameters and dataset shape, so it cannot be
+        replayed into a different job.
     """
 
     dseq: TemporalSequenceDatabase
@@ -744,6 +760,8 @@ class ESTPM:
     executor: MiningExecutor | str | None = None
     n_workers: int | None = None
     kernel: str | None = None
+    strict: bool = True
+    checkpoint_path: str | None = None
 
     def mine(self) -> MiningResult:
         """Run the full mining process and return all frequent seasonal
@@ -760,6 +778,8 @@ class ESTPM:
         kernel = validate_kernel(self.kernel or default_kernel())
         stats = MiningStats(n_granules=len(self.dseq))
         patterns: list[SeasonalPattern] = []
+        failures: list[FailedTask] = []
+        checkpoint = self._open_checkpoint()
 
         with span(
             "estpm/mine", granules=len(self.dseq), kernel=kernel, backend=backend
@@ -774,7 +794,8 @@ class ESTPM:
             if self.params.max_pattern_length >= 2:
                 with span("estpm/step2.2/pairs", k=2) as step22:
                     hlh2 = self._mine_two_event_patterns(
-                        hlh1, runner, backend, kernel, patterns, stats
+                        hlh1, runner, backend, kernel, patterns, stats,
+                        checkpoint, failures,
                     )
                     step22.set(
                         groups=len(hlh2.groups), patterns=len(hlh2.phk)
@@ -788,6 +809,7 @@ class ESTPM:
                         current = self._mine_k_event_patterns(
                             hlh1, previous, candidate_triples, k, runner,
                             backend, kernel, patterns, stats,
+                            checkpoint, failures,
                         )
                         extend_span.set(
                             groups=len(current.groups),
@@ -796,10 +818,90 @@ class ESTPM:
                     levels[k] = current
                     previous = current
                     k += 1
-            mine_span.set(patterns=len(patterns))
+            mine_span.set(patterns=len(patterns), failures=len(failures))
 
+        if checkpoint is not None:
+            checkpoint.flush()
         stats.mining_seconds = time.perf_counter() - started
-        return MiningResult(patterns=patterns, stats=stats)
+        if failures and self.strict:
+            raise MiningError(
+                f"{len(failures)} group task(s) failed after retries: "
+                + "; ".join(f.describe() for f in failures[:5])
+                + ("; ..." if len(failures) > 5 else "")
+                + " (run with strict=False to keep the partial result)"
+            )
+        return MiningResult(patterns=patterns, stats=stats, failures=failures)
+
+    def _open_checkpoint(self):
+        """The job-progress checkpoint, or ``None`` when not configured.
+
+        The fingerprint binds the checkpoint to this exact job: the
+        mining parameters and the dataset shape (kernel and backend are
+        deliberately excluded -- all kernels/backends produce equivalent
+        outcomes, so a resume may switch them).
+        """
+        if self.checkpoint_path is None:
+            return None
+        # Imported lazily: repro.io's package init reaches (via the
+        # archive readers) back into this module.
+        from repro.io.job_checkpoint import JobCheckpoint
+
+        return JobCheckpoint(
+            self.checkpoint_path,
+            {
+                "job": "estpm",
+                "params": repr(self.params),
+                "granules": len(self.dseq),
+            },
+        )
+
+    def _dispatch(
+        self,
+        runner: MiningExecutor,
+        fn,
+        tasks: list,
+        context: "LevelContext",
+        prefix: str,
+        checkpoint,
+        failures: list[FailedTask],
+    ):
+        """Run a level's tasks, yielding outcomes in task order.
+
+        Wraps ``runner.map_tasks`` with the two resilience concerns the
+        miner owns: *resume* (tasks whose key is already in the job
+        checkpoint are skipped -- their recorded outcome is yielded in
+        place, counted in ``resume.tasks_skipped``) and *quarantine*
+        (a :class:`FailedTask` outcome is collected into ``failures``
+        instead of being yielded, leaving that group's patterns out of
+        the result).  Completed outcomes are checkpointed as they
+        stream back, so progress is durable every ``flush_every`` tasks.
+        """
+        keys = [f"{prefix}:{task_key_of(task)}" for task in tasks]
+        if checkpoint is None:
+            pending = list(range(len(tasks)))
+        else:
+            pending = [i for i, key in enumerate(keys) if key not in checkpoint]
+            skipped = len(tasks) - len(pending)
+            if skipped:
+                metrics.inc("resume.tasks_skipped", skipped)
+        if pending:
+            fresh = iter(
+                runner.map_tasks(fn, [tasks[i] for i in pending], context)
+            )
+        else:
+            fresh = iter(())
+        pending_set = set(pending)
+        for index in range(len(tasks)):
+            if index not in pending_set:
+                yield checkpoint.get(keys[index])
+                continue
+            outcome = next(fresh)
+            if isinstance(outcome, FailedTask):
+                failures.append(outcome)
+                continue
+            if checkpoint is not None:
+                checkpoint.record(keys[index], outcome)
+            yield outcome
 
     # ------------------------------------------------------------------
     # Step 2.1: single events
@@ -888,6 +990,8 @@ class ESTPM:
         kernel: str,
         patterns: list[SeasonalPattern],
         stats: MiningStats,
+        checkpoint=None,
+        failures: list[FailedTask] | None = None,
     ) -> HLHk:
         hlh2 = HLHk(k=2)
         f1 = sorted(hlh1.candidates)
@@ -901,7 +1005,11 @@ class ESTPM:
             params=self.params, apriori=self.pruning.apriori, hlh1=hlh1,
             kernel=kernel,
         )
-        for outcome in runner.map_tasks(mine_pair_task, tasks, context):
+        outcomes = self._dispatch(
+            runner, mine_pair_task, tasks, context, "k2", checkpoint,
+            failures if failures is not None else [],
+        )
+        for outcome in outcomes:
             if outcome.support is None:
                 continue
             hlh2.add_group(outcome.group, outcome.support)
@@ -927,6 +1035,8 @@ class ESTPM:
         kernel: str,
         patterns: list[SeasonalPattern],
         stats: MiningStats,
+        checkpoint=None,
+        failures: list[FailedTask] | None = None,
     ) -> HLHk:
         hlhk = HLHk(k=k)
         if self.pruning.transitivity:
@@ -953,7 +1063,11 @@ class ESTPM:
             candidate_triples=candidate_triples,
             kernel=kernel,
         )
-        for outcome in runner.map_tasks(mine_extension_task, tasks, context):
+        outcomes = self._dispatch(
+            runner, mine_extension_task, tasks, context, f"k{k}", checkpoint,
+            failures if failures is not None else [],
+        )
+        for outcome in outcomes:
             if outcome.support is None:
                 continue
             hlhk.add_group(outcome.group, outcome.support)

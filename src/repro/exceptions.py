@@ -34,3 +34,14 @@ class MiningError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by the dataset generators for invalid specifications."""
+
+
+class FaultInjected(ReproError):
+    """Raised by the deterministic fault-injection layer.
+
+    Never raised in production runs: a :class:`~repro.resilience.faults.FaultPlan`
+    must be explicitly installed (or arrive via ``REPRO_FAULT_PLAN``) for
+    this to fire.  The retry/recovery machinery treats it like any other
+    transient task failure, which is exactly how the chaos suite proves
+    the recovery paths work.
+    """

@@ -43,6 +43,19 @@ alive for the whole command, so multi-level and multi-experiment runs
 reuse the same workers instead of spawning a pool per mining level.
 All combinations return identical pattern sets.
 
+Resilience
+----------
+``--max-retries N`` / ``--task-timeout SECONDS`` configure the executor
+retry policy: transient task failures retry with deterministic
+exponential backoff, tasks that exhaust their attempts are quarantined
+into the result's ``failures`` (and re-raised, strict mode being the
+engine default), and a stalled parallel pool is recycled after the
+timeout.  ``mine`` and ``multigrain`` take ``--resume PATH``, a
+job-progress checkpoint written atomically as groups/levels complete;
+re-running the same command with the same PATH skips the completed
+work.  Ctrl-C closes open pools, still writes ``--trace``, and exits
+with status 130.
+
 Telemetry
 ---------
 Every mining subcommand also accepts ``--log-level
@@ -67,6 +80,7 @@ from repro.core.executor import (
     EXECUTOR_THREADS,
     MiningExecutor,
     ParallelExecutor,
+    SerialExecutor,
     ThreadExecutor,
 )
 from repro.core.instance_index import STEP2_KERNELS
@@ -94,6 +108,7 @@ from repro.obs import (
     write_trace,
 )
 from repro.obs.logging import LEVELS, configure_logging, get_logger
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.transform.sequence_db import FRONTEND_KERNELS
 
 logger = get_logger(__name__)
@@ -154,6 +169,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "columns, the default) or scalar (granule-by-granule parity "
             "reference); both produce identical rows and pattern sets",
         )
+        command_parser.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="attempts per mining task before it is quarantined into "
+            "the result's failures list (default: "
+            f"{DEFAULT_RETRY_POLICY.max_attempts}; transient task errors "
+            "are retried with deterministic exponential backoff)",
+        )
+        command_parser.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-task progress budget for --executor parallel: when no "
+            "task completes within this window the pool is recycled and the "
+            "stalled tasks are retried (default: no timeout)",
+        )
 
     def add_telemetry_arguments(command_parser: argparse.ArgumentParser) -> None:
         command_parser.add_argument(
@@ -204,6 +238,12 @@ def _build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--max-period-pct", type=float, default=0.4)
     mine_parser.add_argument("--approximate", action="store_true", help="use A-STPM")
     mine_parser.add_argument("--limit", type=int, default=25, help="patterns to print")
+    mine_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="job-progress checkpoint: completed mining groups are "
+        "recorded here (written atomically) and skipped when the same "
+        "command is re-run with the same PATH after a crash",
+    )
     add_engine_arguments(mine_parser)
     add_telemetry_arguments(mine_parser)
 
@@ -239,6 +279,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     multigrain_parser.add_argument(
         "--limit", type=int, default=10, help="persistent patterns to print"
+    )
+    multigrain_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="job-progress checkpoint: completed hierarchy levels are "
+        "recorded here (written atomically) and skipped when the same "
+        "command is re-run with the same PATH after a crash",
     )
     add_engine_arguments(multigrain_parser)
     add_telemetry_arguments(multigrain_parser)
@@ -325,30 +371,52 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _retry_policy(args) -> RetryPolicy | None:
+    """A :class:`RetryPolicy` when any retry flag was given, else ``None``."""
+    max_retries = getattr(args, "max_retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    if max_retries is None and task_timeout is None:
+        return None
+    kwargs = {}
+    if max_retries is not None:
+        kwargs["max_attempts"] = max_retries
+    if task_timeout is not None:
+        kwargs["timeout_s"] = task_timeout
+    return RetryPolicy(**kwargs)
+
+
 def _executor_spec(args):
     """The executor spec of parsed engine flags.
 
-    ``--workers`` / ``--keep-pool`` turn the backend name into a sized
-    instance, so an explicit invalid worker count (e.g. ``--workers 0``)
-    reaches the executor constructor and is rejected there, not silently
-    reinterpreted as "all cores".  With ``--keep-pool`` the instance runs
-    one persistent, reused pool for the whole command (closed by
-    :func:`_close_executor` before the process exits).
+    ``--workers`` / ``--keep-pool`` / ``--max-retries`` / ``--task-timeout``
+    turn the backend name into a configured instance, so an explicit
+    invalid value (e.g. ``--workers 0``) reaches the executor constructor
+    and is rejected there, not silently reinterpreted.  With ``--keep-pool``
+    the instance runs one persistent, reused pool for the whole command
+    (closed by :func:`_close_executor` before the process exits).
     """
     keep_pool = getattr(args, "keep_pool", False)
-    if args.executor == EXECUTOR_PARALLEL and (args.workers is not None or keep_pool):
+    retry = _retry_policy(args)
+    configured = args.workers is not None or keep_pool or retry is not None
+    if args.executor == EXECUTOR_PARALLEL and configured:
         return ParallelExecutor(
-            max_workers=args.workers, reuse_pool=True if keep_pool else None
+            max_workers=args.workers,
+            reuse_pool=True if keep_pool else None,
+            retry=retry,
         )
-    if args.executor == EXECUTOR_THREADS and (args.workers is not None or keep_pool):
+    if args.executor == EXECUTOR_THREADS and configured:
         # A ThreadExecutor instance is inherently a kept pool: the scope
         # machinery closes name-resolved backends per job but leaves
         # instances open for the whole command.
-        return ThreadExecutor(max_workers=args.workers)
+        return ThreadExecutor(max_workers=args.workers, retry=retry)
     if keep_pool:
         logger.warning(
             "--keep-pool has no effect without --executor parallel|threads"
         )
+    if retry is not None:
+        # Serial (or default) backend with an explicit retry policy: the
+        # in-process retry/quarantine machinery still applies.
+        return SerialExecutor(retry=retry)
     return args.executor
 
 
@@ -408,8 +476,16 @@ def main(argv: list[str] | None = None) -> int:
 
         return lint_main(raw[1:])
     args = _build_parser().parse_args(raw)
-    with _telemetry(args):
-        return _dispatch(args)
+    try:
+        with _telemetry(args):
+            return _dispatch(args)
+    except KeyboardInterrupt:
+        # The per-command ``finally`` blocks (and executor_scope) have
+        # already closed any CLI-built pools on the way out, and
+        # _telemetry's finally has written the partial --trace file; all
+        # that is left is the conventional SIGINT exit status.
+        logger.warning("interrupted")
+        return 130
 
 
 def _dispatch(args) -> int:
@@ -462,6 +538,7 @@ def _dispatch(args) -> int:
             "executor": spec,
             "n_workers": n_workers,
             "kernel": args.kernel,
+            "checkpoint_path": args.resume,
         }
         try:
             # The front end acts at dseq-build time, so it is installed as
@@ -517,6 +594,7 @@ def _run_multigrain(args) -> int:
         executor=spec,
         n_workers=n_workers,
         kernel=args.kernel,
+        checkpoint_path=args.resume,
     )
     try:
         with engine_defaults(frontend=args.frontend):

@@ -1,0 +1,68 @@
+"""Crash-safe file writes.
+
+Every durable artifact the library produces (stream checkpoints, result
+archives, traces, analysis baselines, job-progress checkpoints) goes
+through :func:`write_text_atomic`: write to a temp file *in the target
+directory*, fsync, then ``os.replace`` onto the destination.  A crash
+at any point leaves either the complete previous file or the complete
+new file -- never a truncated hybrid -- because the rename is atomic on
+POSIX and the temp file lives on the same filesystem.
+
+The gap between writing the temp file and the rename is a ``write``
+fault-injection site (:func:`repro.resilience.faults.maybe_fault`), so
+the chaos suite can simulate a crash mid-write and assert the previous
+file survived.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.resilience.faults import maybe_fault
+
+__all__ = ["write_text_atomic"]
+
+# Monotonic per-process write counter so fault plans can target "the
+# k-th durable write" of a run.
+_WRITE_INDEX = 0
+
+
+def write_text_atomic(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Write *text* to *path* so a crash never leaves a partial file.
+
+    The temp file is created with :func:`tempfile.mkstemp` in the
+    target's directory (same filesystem, so the final ``os.replace`` is
+    a true atomic rename) and fsynced before the rename, so the new
+    content is durable before it becomes visible.  On any failure --
+    including an injected ``write`` fault -- the temp file is removed
+    and the previous *path* content is untouched.
+
+    Returns the target as a :class:`~pathlib.Path`.
+    """
+    global _WRITE_INDEX
+    target = Path(path)
+    parent = target.parent
+    parent.mkdir(parents=True, exist_ok=True)
+    index = _WRITE_INDEX
+    _WRITE_INDEX += 1
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            # Chaos site: an "interrupt" here is a crash after the data
+            # was written but before it was durable or visible.
+            maybe_fault("write", index=index, key=str(target))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target

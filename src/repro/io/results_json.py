@@ -24,6 +24,7 @@ from repro.core.results import MiningResult, MiningStats, SeasonalPattern
 from repro.core.seasonality import SeasonView
 from repro.events.relations import RelationConfig
 from repro.exceptions import ReproError
+from repro.io.atomic import write_text_atomic
 from repro.io.payload import (
     check_payload_version,
     load_payload,
@@ -99,7 +100,7 @@ def result_to_json(result: MiningResult, path: str | Path | None = None) -> str:
     payload = {"format_version": FORMAT_VERSION, **_result_to_dict(result)}
     text = json.dumps(payload, indent=2)
     if path is not None:
-        Path(path).write_text(text)
+        write_text_atomic(path, text)
     return text
 
 
@@ -174,7 +175,7 @@ def multigrain_to_json(
     }
     text = json.dumps(payload, indent=2)
     if path is not None:
-        Path(path).write_text(text)
+        write_text_atomic(path, text)
     return text
 
 

@@ -22,6 +22,7 @@ from pathlib import Path
 from repro.core.config import MiningParams
 from repro.events.relations import RelationConfig
 from repro.exceptions import ReproError
+from repro.io.atomic import write_text_atomic
 from repro.io.payload import load_versioned_payload
 from repro.symbolic.alphabet import Alphabet
 from repro.symbolic.mapping import ThresholdMapper
@@ -124,7 +125,7 @@ def save_stream_checkpoint(service, path: str | Path | None = None) -> str:
     }
     text = json.dumps(payload, indent=2)
     if path is not None:
-        Path(path).write_text(text)
+        write_text_atomic(path, text)
     return text
 
 

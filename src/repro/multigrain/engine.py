@@ -43,9 +43,10 @@ from repro.core.executor import (
 from repro.core.prune import PruningConfig
 from repro.core.stpm import ESTPM
 from repro.core.supportset import default_backend, validate_backend
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, MiningError
 from repro.granularity.hierarchy import GranularityHierarchy
 from repro.multigrain.result import GranularityLevel, MultiGranularityResult
+from repro.resilience.policy import FailedTask
 from repro.multigrain.screening import screen_level
 from repro.obs import counters as metrics
 from repro.obs.trace import span
@@ -226,6 +227,18 @@ class HierarchicalMiner:
         Engine knobs; the executor dispatches *levels* (each level task
         mines serially inside), and ``kernel`` picks the step-2.2 kernel
         (``array`` / ``sweep`` / ``reference``) of every level's miner.
+    strict:
+        ``True`` (default): a level task that failed all its retry
+        attempts aborts the run with :class:`MiningError`.  ``False``:
+        quarantined levels are collected into
+        ``MultiGranularityResult.failures`` and the hierarchy returns
+        without them.
+    checkpoint_path:
+        If set, each completed level's outcome is checkpointed to this
+        file (atomic, versioned, keyed by the level's *ratio* -- stable
+        across reruns) and a rerun pointed at the same path resumes,
+        re-mining only the unfinished levels (``freqstpfts multigrain
+        --resume``).
     """
 
     dsyb: SymbolicDatabase
@@ -245,6 +258,8 @@ class HierarchicalMiner:
     executor: MiningExecutor | str | None = None
     n_workers: int | None = None
     kernel: str | None = None
+    strict: bool = True
+    checkpoint_path: str | None = None
 
     def __post_init__(self) -> None:
         if not self.ratios:
@@ -383,6 +398,36 @@ class HierarchicalMiner:
             )
         return jobs
 
+    def _open_checkpoint(self):
+        """The per-level job checkpoint, or ``None`` when not configured.
+
+        The fingerprint binds the checkpoint to the full hierarchy
+        configuration and the symbolic database's extent, so a resume
+        cannot silently mix levels mined under different thresholds.
+        """
+        if self.checkpoint_path is None:
+            return None
+        # Imported lazily: repro.io's package init reaches (via the
+        # archive readers) back into this package.
+        from repro.io.job_checkpoint import JobCheckpoint
+
+        return JobCheckpoint(
+            self.checkpoint_path,
+            {
+                "job": "multigrain",
+                "ratios": sorted(self.ratios),
+                "miner": self.miner,
+                "strategy": self.strategy,
+                "max_period_pct": self.max_period_pct,
+                "min_density_pct": self.min_density_pct,
+                "dist_interval": list(self.dist_interval),
+                "min_season": self.min_season,
+                "max_pattern_length": self.max_pattern_length,
+                "event_level": self.event_level,
+                "n_instants": self.dsyb.n_instants,
+            },
+        )
+
     def mine(self) -> MultiGranularityResult:
         """Mine every level and align the results across the hierarchy.
 
@@ -390,8 +435,17 @@ class HierarchicalMiner:
         pool-backed *instance* passed by the caller keeps its workers
         alive across consecutive hierarchies (pool reuse), while a backend
         resolved from a name lives exactly as long as this job.
+
+        With ``checkpoint_path`` set, levels already present in the
+        checkpoint are not re-mined (their recorded outcome is used,
+        counted in ``resume.tasks_skipped``) and every freshly completed
+        level is recorded, so a killed run resumes at the level it died
+        on.  A level task that fails all its retry attempts is
+        quarantined (strict runs raise; see ``strict``).
         """
         backend = validate_backend(self.support_backend or default_backend())
+        checkpoint = self._open_checkpoint()
+        failures: list = []
         with span(
             "multigrain/mine", miner=self.miner, levels=len(self.ratios)
         ) as mine_span:
@@ -406,13 +460,48 @@ class HierarchicalMiner:
                 support_backend=backend,
                 kernel=self.kernel,
             )
-            with executor_scope(self.executor, self.n_workers) as runner:
-                levels = list(
-                    runner.map_tasks(
-                        mine_level_task, list(range(len(jobs))), context
-                    )
-                )
+            # Checkpoint keys are the level *ratios*: stable across
+            # reruns, unlike task list positions, which renumber once
+            # completed levels are skipped.
+            keys = [f"ratio:{job.ratio}" for job in jobs]
+            if checkpoint is None:
+                pending = list(range(len(jobs)))
+            else:
+                pending = [
+                    index for index, key in enumerate(keys)
+                    if key not in checkpoint
+                ]
+                skipped = len(jobs) - len(pending)
+                if skipped:
+                    metrics.inc("resume.tasks_skipped", skipped)
+            levels: list[GranularityLevel] = [
+                checkpoint.get(keys[index])
+                for index in range(len(jobs))
+                if index not in set(pending)
+            ]
+            if pending:
+                with executor_scope(self.executor, self.n_workers) as runner:
+                    for index, outcome in zip(
+                        pending,
+                        runner.map_tasks(mine_level_task, pending, context),
+                    ):
+                        if isinstance(outcome, FailedTask):
+                            failures.append(outcome)
+                            continue
+                        levels.append(outcome)
+                        if checkpoint is not None:
+                            checkpoint.record(keys[index], outcome)
+            if checkpoint is not None:
+                checkpoint.flush()
             mine_span.set(
-                patterns=sum(len(level.result) for level in levels)
+                patterns=sum(len(level.result) for level in levels),
+                failures=len(failures),
             )
-        return MultiGranularityResult(levels=levels)
+        if failures and self.strict:
+            raise MiningError(
+                f"{len(failures)} level task(s) failed after retries: "
+                + "; ".join(f.describe() for f in failures)
+                + " (run with strict=False to keep the partial hierarchy, "
+                "or --resume the checkpoint)"
+            )
+        return MultiGranularityResult(levels=levels, failures=failures)

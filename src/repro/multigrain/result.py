@@ -11,12 +11,13 @@ finest, and how a pattern's season count changes as the data coarsens.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import MiningParams
 from repro.core.pattern import TemporalPattern
 from repro.core.results import MiningResult, SeasonalPattern
 from repro.exceptions import ConfigError
+from repro.resilience.policy import FailedTask
 
 
 @dataclass(frozen=True)
@@ -42,12 +43,24 @@ class GranularityLevel:
 
 @dataclass
 class MultiGranularityResult:
-    """All levels of one hierarchical mining run, finest first."""
+    """All levels of one hierarchical mining run, finest first.
+
+    ``failures`` lists the quarantined level tasks of a non-strict run
+    (see :class:`~repro.core.results.MiningResult.failures`); a strict
+    hierarchical run raises instead, so a populated list always marks a
+    knowingly partial hierarchy.
+    """
 
     levels: list[GranularityLevel]
+    failures: list[FailedTask] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.levels = sorted(self.levels, key=lambda level: level.ratio)
+
+    @property
+    def complete(self) -> bool:
+        """True when no level task was quarantined."""
+        return not self.failures
 
     def __len__(self) -> int:
         return len(self.levels)

@@ -241,6 +241,10 @@ def write_trace(
         payload["command"] = command
     if counters is not None:
         payload["counters"] = counters
-    target = Path(path)
-    target.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    return target
+    # Imported lazily: repro.io's package init reaches (via the archive
+    # readers and the miners) back into modules that import this one.
+    from repro.io.atomic import write_text_atomic
+
+    return write_text_atomic(
+        path, json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    )

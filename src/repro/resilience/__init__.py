@@ -1,0 +1,52 @@
+"""Fault tolerance for the mining runtime: retries, quarantine, chaos.
+
+The package is stdlib-only and splits into two halves:
+
+* :mod:`repro.resilience.policy` -- the *recovery* side: a configurable
+  :class:`RetryPolicy` (bounded attempts, exponential backoff with
+  deterministic jitter, optional per-task timeouts, pool-break budget)
+  and the :class:`FailedTask` quarantine record that a task failing all
+  its attempts collapses into instead of killing the whole job.
+* :mod:`repro.resilience.faults` -- the *chaos* side: a seeded,
+  declarative :class:`FaultPlan` (kill this worker, delay that task,
+  raise a transient error, interrupt a durable write) injectable into
+  the executors and the atomic writer, including into spawn-started
+  worker processes via the ``REPRO_FAULT_PLAN`` environment variable.
+  This is how every recovery path in this package is tested.
+
+Both halves ship across the executor boundary (fault plans ride the
+environment into workers; quarantine records ride task outcomes back),
+so everything here is deliberately plain frozen dataclasses of
+primitives -- picklable under every start method, checked by the EP
+analyzer rules and the spawn round-trip tests.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    fault_task_scope,
+    install_fault_plan,
+    maybe_fault,
+)
+from repro.resilience.policy import (
+    DEFAULT_RETRY_POLICY,
+    FailedTask,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "active_fault_plan",
+    "fault_task_scope",
+    "install_fault_plan",
+    "maybe_fault",
+    "DEFAULT_RETRY_POLICY",
+    "FailedTask",
+    "RetryPolicy",
+]

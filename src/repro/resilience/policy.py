@@ -1,0 +1,147 @@
+"""Retry policies and failure quarantine records.
+
+A :class:`RetryPolicy` describes how the executors respond to task
+failures: how many attempts each task gets, how long to back off between
+attempts (exponential with *deterministic* jitter -- the schedule is a
+pure function of the task key and attempt number, so chaos runs and
+their re-runs sleep identically), an optional per-task timeout, and how
+many pool breaks a parallel job tolerates before degrading to serial
+execution.
+
+A task that exhausts its attempts is *quarantined* into a
+:class:`FailedTask` record instead of aborting the job: the executor
+yields the record in the outcome stream, the miner collects it into
+``MiningResult.failures``, and the job's ``strict`` flag decides whether
+that surfaces as an exception (the default) or as a partial result.
+
+Both classes are frozen dataclasses of primitives only: they cross the
+executor boundary (policies ride into the serial-degradation path,
+quarantine records ride outcome streams and job checkpoints), so they
+must pickle under every start method.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError
+
+__all__ = ["RetryPolicy", "FailedTask", "DEFAULT_RETRY_POLICY", "task_key_of"]
+
+
+def task_key_of(task: object) -> str:
+    """The stable string identity of one task.
+
+    Tasks are plain key tuples (event pairs, ``(group, event)`` pairs,
+    level indexes), so ``repr`` is deterministic across processes and
+    runs -- unlike ``hash()``, which is salted per interpreter.
+    """
+    return repr(task)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executors respond to task failures and pool breaks.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per task (>= 1).  ``1`` disables retries: the
+        first failure quarantines immediately.
+    backoff_base_s:
+        Delay before the first retry; each further retry multiplies it
+        by ``backoff_multiplier``, capped at ``backoff_max_s``.
+    jitter_pct:
+        Fraction of the base delay added/subtracted deterministically
+        per ``(task, attempt)`` (see :meth:`backoff_s`), so retry storms
+        de-synchronize without making runs irreproducible.
+    timeout_s:
+        Optional per-task wall-clock budget.  Enforced by the process
+        pool (a timed-out task counts as a failed attempt and its pool
+        is recycled -- a stuck worker cannot be preempted any other
+        way); the serial and thread backends cannot preempt a running
+        task and document the budget as unenforced.
+    max_pool_breaks:
+        Consecutive pool breaks (dead worker, broken broadcast barrier,
+        task timeout) a parallel ``map_tasks`` call absorbs by
+        respawning the pool before it degrades to in-process serial
+        execution for the remaining tasks.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter_pct: float = 0.25
+    timeout_s: float | None = None
+    max_pool_breaks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_pct < 1.0:
+            raise ConfigError(
+                f"jitter_pct must be in [0, 1), got {self.jitter_pct}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.max_pool_breaks < 0:
+            raise ConfigError(
+                f"max_pool_breaks must be >= 0, got {self.max_pool_breaks}"
+            )
+
+    def backoff_s(self, task_key: str, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based) of one task.
+
+        Pure function of ``(task_key, attempt)``: the exponential base is
+        jittered by a fraction drawn from a stable BLAKE2 digest rather
+        than a process RNG, so two runs of the same chaos schedule sleep
+        the same amounts (the hypothesis suite pins this determinism).
+        """
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        base = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        base = min(base, self.backoff_max_s)
+        if base == 0.0 or self.jitter_pct == 0.0:
+            return base
+        digest = hashlib.blake2b(
+            f"{task_key}#{attempt}".encode(), digest_size=8
+        ).digest()
+        fraction = int.from_bytes(digest, "big") / 2.0**64  # [0, 1)
+        return base * (1.0 + self.jitter_pct * (2.0 * fraction - 1.0))
+
+
+#: The policy used when an executor is built without one: bounded
+#: retries with sub-second backoff, pool-break recovery on, no timeout.
+#: With no faults injected and no failing tasks this is byte-for-byte
+#: the pre-resilience behavior (nothing ever retries).
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FailedTask:
+    """The quarantine record of one task that failed all its attempts.
+
+    Carries the stable task key, the ``repr`` of the last exception (a
+    string, not the exception object -- reprs pickle and JSON-serialize
+    under every start method), and how many attempts were consumed.
+    Appears in the executor outcome stream in the failed task's slot and
+    is collected into ``MiningResult.failures`` / raised by strict jobs.
+    """
+
+    key: str
+    error: str
+    attempts: int
+
+    def describe(self) -> str:
+        """Readable one-line rendering."""
+        return f"{self.key}: {self.error} (after {self.attempts} attempts)"

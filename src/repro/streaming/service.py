@@ -36,6 +36,13 @@ class StreamingMiningService:
         points).  :meth:`push_symbols` works without one.
     support_backend / reanchor_every / kernel:
         Forwarded to :class:`IncrementalSTPM`.
+    checkpoint_path / checkpoint_every:
+        Durable autosave: with both set, the service checkpoints itself
+        (atomically -- a crash mid-save keeps the previous checkpoint)
+        after every ``checkpoint_every``-th granule-completing push, so
+        a killed stream restarts from its last autosave via
+        :meth:`restore` instead of from scratch.  ``checkpoint_path``
+        alone enables manual :meth:`save_checkpoint` to a default path.
     """
 
     def __init__(
@@ -46,7 +53,20 @@ class StreamingMiningService:
         support_backend: str | None = None,
         reanchor_every: int | None = None,
         kernel: str | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int | None = None,
     ):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise MiningError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise MiningError(
+                "checkpoint_every needs a checkpoint_path to write to"
+            )
+        self.checkpoint_path = None if checkpoint_path is None else Path(checkpoint_path)
+        self.checkpoint_every = checkpoint_every
+        self._granules_since_checkpoint = 0
         self.database = database
         self.symbolizer = symbolizer
         if symbolizer is not None:
@@ -92,8 +112,20 @@ class StreamingMiningService:
         self, symbols: dict[str, Sequence[str] | str]
     ) -> PatternDelta:
         """Ingest already-symbolic values and mine the completed granules."""
+        before = self.miner.n_granules
         self.database.append_symbols(symbols)
-        return self.miner.advance()
+        delta = self.miner.advance()
+        self._maybe_autosave(self.miner.n_granules - before)
+        return delta
+
+    def _maybe_autosave(self, new_granules: int) -> None:
+        """Checkpoint after every ``checkpoint_every`` mined granules."""
+        if self.checkpoint_every is None or new_granules <= 0:
+            return
+        self._granules_since_checkpoint += new_granules
+        if self._granules_since_checkpoint >= self.checkpoint_every:
+            self.save_checkpoint(self.checkpoint_path)
+            self._granules_since_checkpoint = 0
 
     def result(self) -> MiningResult:
         """The full mining result over everything streamed so far."""
@@ -111,11 +143,15 @@ class StreamingMiningService:
     # Checkpointing (see repro.io.stream_checkpoint for the format)
     # ------------------------------------------------------------------
 
-    def save_checkpoint(self, path: str | Path) -> str:
-        """Persist the stream to ``path`` (JSON); returns the payload text."""
+    def save_checkpoint(self, path: str | Path | None = None) -> str:
+        """Persist the stream as JSON; returns the payload text.
+
+        ``path`` defaults to the service's ``checkpoint_path``; with
+        neither set the payload is returned without being written.
+        """
         from repro.io.stream_checkpoint import save_stream_checkpoint
 
-        return save_stream_checkpoint(self, path)
+        return save_stream_checkpoint(self, path or self.checkpoint_path)
 
     @classmethod
     def restore(cls, path: str | Path) -> "StreamingMiningService":
